@@ -1,0 +1,125 @@
+//! Micro-benchmarks of the simulation substrate itself: cycle
+//! throughput, cache operations, wrapper emission and a single fault
+//! run — the quantities that bound every campaign's wall-clock time.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sbst_cpu::{CoreConfig, CoreKind};
+use sbst_fault::{Element, FaultPlane, FaultSite, Polarity, Unit};
+use sbst_isa::{Asm, Reg};
+use sbst_mem::{Cache, CacheConfig};
+use sbst_soc::SocBuilder;
+use sbst_stl::routines::{ForwardingTest, IcuTest};
+use sbst_stl::{wrap_cached, RoutineEnv, WrapConfig};
+
+fn busy_loop(iters: u32) -> Asm {
+    let mut a = Asm::new();
+    a.li(Reg::R1, iters);
+    a.label("top");
+    a.addi(Reg::R2, Reg::R2, 1);
+    a.add(Reg::R3, Reg::R2, Reg::R3);
+    a.subi(Reg::R1, Reg::R1, 1);
+    a.bne(Reg::R1, Reg::R0, "top");
+    a.halt();
+    a
+}
+
+fn bench_soc_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    let program = busy_loop(2_000).assemble(0x400).unwrap();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("soc_run_cached_loop", |b| {
+        b.iter(|| {
+            let mut soc = SocBuilder::new()
+                .load(&program)
+                .core(CoreConfig::cached(CoreKind::A, 0, 0x400), 0)
+                .build();
+            let outcome = soc.run(1_000_000);
+            assert!(outcome.is_clean());
+            soc.cycle()
+        })
+    });
+    g.bench_function("triple_core_contended_step", |b| {
+        let mk = |i: usize| busy_loop(2_000).assemble(0x400 + 0x10000 * i as u32).unwrap();
+        b.iter(|| {
+            let mut builder = SocBuilder::new();
+            for i in 0..3usize {
+                builder = builder
+                    .load(&mk(i))
+                    .core(CoreConfig::uncached(CoreKind::ALL[i], i, 0x400 + 0x10000 * i as u32), 0);
+            }
+            let mut soc = builder.build();
+            for _ in 0..10_000 {
+                soc.step();
+            }
+            soc.cycle()
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("read_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::icache_8k());
+        for line in 0..256u32 {
+            cache.fill(line * 32, &[line; 8]);
+        }
+        let mut addr = 0u32;
+        b.iter(|| {
+            addr = (addr + 4) % 8192;
+            cache.read(addr)
+        })
+    });
+    g.bench_function("invalidate_all", |b| {
+        let mut cache = Cache::new(CacheConfig::dcache_4k());
+        b.iter(|| cache.invalidate_all())
+    });
+    g.finish();
+}
+
+fn bench_wrapper(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wrapper");
+    g.bench_function("wrap_and_assemble_forwarding", |b| {
+        let routine = ForwardingTest::without_pcs(CoreKind::A);
+        let env = RoutineEnv::for_core(CoreKind::A);
+        let cfg = WrapConfig::default();
+        b.iter(|| {
+            wrap_cached(&routine, &env, &cfg, "w")
+                .expect("wraps")
+                .assemble(0x400)
+                .expect("assembles")
+        })
+    });
+    g.finish();
+}
+
+fn bench_fault_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_run");
+    g.sample_size(20);
+    let routine = IcuTest::new();
+    let env = RoutineEnv::for_core(CoreKind::A);
+    let program = wrap_cached(&routine, &env, &WrapConfig::default(), "f")
+        .expect("wraps")
+        .assemble(0x400)
+        .expect("assembles");
+    let site = FaultSite {
+        unit: Unit::Icu,
+        instance: 0,
+        element: Element::DepthBit { bit: 1 },
+        polarity: Polarity::StuckAt1,
+    };
+    g.bench_function("single_fault_simulation", |b| {
+        b.iter(|| {
+            let mut soc = SocBuilder::new()
+                .load(&program)
+                .core(CoreConfig::cached(CoreKind::A, 0, 0x400), 0)
+                .build();
+            soc.core_mut(0).set_plane(FaultPlane::armed(site));
+            soc.run(10_000_000)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_soc_throughput, bench_cache, bench_wrapper, bench_fault_run);
+criterion_main!(benches);

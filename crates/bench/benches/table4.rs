@@ -1,0 +1,22 @@
+//! Criterion bench for Table IV: building + running both wrappers of the
+//! imprecise-interrupt routine (the table is printed by the `table4`
+//! binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbst_campaign::tables::table4;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("tcm_vs_cache", |b| {
+        b.iter(|| {
+            let rows = table4();
+            assert_eq!(rows.len(), 2);
+            rows
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Reference listing of the fault universes: per unit and core kind,
+//! the enumerated stuck-at sites, the collapsed equivalence classes and
+//! the per-category breakdown.
+
+use sbst_cpu::{delay_fault_list, unit_fault_list, CoreKind};
+use sbst_fault::{collapse, Unit};
+
+fn main() {
+    println!("FAULT UNIVERSES (paper: forwarding 53k/58k/113k, HDCU ~16-20k, ICU ~13-14k)\n");
+    println!("unit        | core | sites | classes | reduction");
+    let mut grand = (0usize, 0usize);
+    for unit in [Unit::Forwarding, Unit::Hdcu, Unit::Icu] {
+        for kind in CoreKind::ALL {
+            let list = unit_fault_list(kind, unit);
+            let c = collapse(&list);
+            grand.0 += list.len();
+            grand.1 += c.classes();
+            println!(
+                "{:<11} | {:>4} | {:>5} | {:>7} | {:>6.1}%",
+                unit.to_string(),
+                kind,
+                list.len(),
+                c.classes(),
+                100.0 * (1.0 - c.classes() as f64 / list.len() as f64)
+            );
+        }
+    }
+    println!(
+        "\ntotal stuck-at universe: {} sites -> {} classes ({:.1}% fewer simulations)",
+        grand.0,
+        grand.1,
+        100.0 * (1.0 - grand.1 as f64 / grand.0 as f64)
+    );
+    println!("\ndelay-fault extension (forwarding datapath):");
+    for kind in CoreKind::ALL {
+        println!("  core {kind}: {} transition sites", delay_fault_list(kind).len());
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates the paper's Table I (multi-core STL execution: stalls due
+//! to the memory subsystem).
+//!
+//! Usage: `table1 [quick|standard|full]`
+
+use sbst_campaign::tables::{render_table1, table1, Effort};
+
+fn main() {
+    let effort = match std::env::args().nth(1).as_deref() {
+        Some("full") => Effort::full(),
+        Some("standard") => Effort::standard(),
+        _ => Effort::quick(),
+    };
+    let rows = table1(&effort);
+    println!("{}", render_table1(&rows));
+    println!("(averaged over {} phase seeds; paper: 200,679/117,965 -> 1,878,336/663,386)", effort.seeds);
+}

@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # sbst-bench — reproduction binaries and benchmarks
+//!
+//! This crate has no library API: it hosts
+//!
+//! * the table/figure regeneration binaries (`table1`–`table4`, `fig1`,
+//!   `fig2`, `ablations`, `delay_faults`, `cache_sweep`,
+//!   `coverage_holes`, `disasm`, and the one-shot `reproduce` driver) —
+//!   see `README.md` for the command lines;
+//! * the Criterion benches under `benches/` measuring the simulator's
+//!   cycle throughput, cache operations, wrapper emission and
+//!   single-fault simulation latency.

@@ -1,0 +1,241 @@
+//! The parallel fault-simulation engine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use sbst_fault::{FaultList, FaultSite, Verdict};
+
+use crate::experiment::{Experiment, Observation};
+
+/// Aggregated result of fault-simulating one fault list against one
+/// experiment.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignResult {
+    /// Faults simulated.
+    pub total: usize,
+    /// Detected via signature mismatch.
+    pub wrong_signature: usize,
+    /// Detected via the routine's own FAIL status.
+    pub test_fail: usize,
+    /// Detected via an unexpected trap.
+    pub unexpected_trap: usize,
+    /// Detected via the watchdog (hang).
+    pub hang: usize,
+    /// Not detected.
+    pub undetected: usize,
+}
+
+impl CampaignResult {
+    /// Total detections.
+    pub fn detected(&self) -> usize {
+        self.total - self.undetected
+    }
+
+    /// Fault coverage in percent.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        100.0 * self.detected() as f64 / self.total as f64
+    }
+
+    fn record(&mut self, verdict: Verdict) {
+        self.total += 1;
+        match verdict {
+            Verdict::WrongSignature => self.wrong_signature += 1,
+            Verdict::TestFail => self.test_fail += 1,
+            Verdict::UnexpectedTrap => self.unexpected_trap += 1,
+            Verdict::Hang => self.hang += 1,
+            Verdict::Undetected => self.undetected += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &CampaignResult) {
+        self.total += other.total;
+        self.wrong_signature += other.wrong_signature;
+        self.test_fail += other.test_fail;
+        self.unexpected_trap += other.unexpected_trap;
+        self.hang += other.hang;
+        self.undetected += other.undetected;
+    }
+}
+
+impl std::fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} detected ({:.2}%): sig {}, fail {}, trap {}, hang {}",
+            self.detected(),
+            self.total,
+            self.coverage(),
+            self.wrong_signature,
+            self.test_fail,
+            self.unexpected_trap,
+            self.hang
+        )
+    }
+}
+
+/// Fault-simulates every fault of `faults` against `experiment`,
+/// fanning out over `threads` worker threads (0 = available
+/// parallelism). Each fault is an independent full-SoC simulation
+/// sharing the frozen Flash image.
+pub fn run_campaign(
+    experiment: &Experiment,
+    golden: &Observation,
+    faults: &FaultList,
+    threads: usize,
+) -> CampaignResult {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let sites = faults.sites();
+    if sites.is_empty() {
+        return CampaignResult::default();
+    }
+    let next = AtomicUsize::new(0);
+    let mut result = CampaignResult::default();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.min(sites.len()) {
+            let next = &next;
+            handles.push(scope.spawn(move |_| {
+                let mut local = CampaignResult::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&site) = sites.get(i) else { break };
+                    local.record(experiment.test_fault(golden, site));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            result.merge(&h.join().expect("fault-sim worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    result
+}
+
+
+/// Like [`run_campaign`] but returns the per-fault verdicts (in fault-list
+/// order) alongside the aggregate — for diagnosis, dashboards, or the
+/// union-coverage analyses of split plans.
+pub fn run_campaign_detailed(
+    experiment: &Experiment,
+    golden: &Observation,
+    faults: &FaultList,
+    threads: usize,
+) -> (CampaignResult, Vec<(FaultSite, Verdict)>) {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let sites = faults.sites();
+    let records = Mutex::new(vec![None::<Verdict>; sites.len()]);
+    if !sites.is_empty() {
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(sites.len()) {
+                let next = &next;
+                let records = &records;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&site) = sites.get(i) else { break };
+                    let verdict = experiment.test_fault(golden, site);
+                    records.lock().expect("records lock")[i] = Some(verdict);
+                });
+            }
+        })
+        .expect("crossbeam scope");
+    }
+    let verdicts: Vec<(FaultSite, Verdict)> = sites
+        .iter()
+        .zip(records.into_inner().expect("records lock"))
+        .map(|(&s, v)| (s, v.expect("every fault graded")))
+        .collect();
+    let mut result = CampaignResult::default();
+    for &(_, v) in &verdicts {
+        result.record(v);
+    }
+    (result, verdicts)
+}
+
+
+/// Buckets per-fault verdicts by element category — the diagnostic view
+/// of where a routine's coverage holes are.
+///
+/// Returns `(category name, detected, total)` sorted by category name.
+pub fn summarize_by_category(
+    records: &[(FaultSite, Verdict)],
+) -> Vec<(&'static str, usize, usize)> {
+    use sbst_fault::Element;
+    fn category(e: &Element) -> &'static str {
+        match e {
+            Element::MuxDataIn { .. } => "mux data input",
+            Element::MuxSelStem { .. } => "mux select stem",
+            Element::MuxSelBranch { .. } => "mux select branch",
+            Element::MuxAndOut { .. } => "mux AND output",
+            Element::MuxOrOut { .. } => "mux OR output",
+            Element::MuxOrNode { .. } => "mux OR-chain node",
+            Element::MuxPathDelay { .. } => "mux path delay",
+            Element::CmpXnorOut { .. } => "comparator XNOR",
+            Element::CmpChainNode { .. } => "comparator chain",
+            Element::CmpValidIn => "comparator valid",
+            Element::CmpOut => "comparator output",
+            Element::StallLine { .. } => "stall line",
+            Element::SelEncLine { .. } => "select encoder",
+            Element::PendLatchQ { .. } => "ICU pending latch",
+            Element::PendSetLine { .. } => "ICU pending set",
+            Element::CauseMapLine { .. } => "ICU cause map",
+            Element::CauseRegBit { .. } => "ICU cause register",
+            Element::MaskBit { .. } => "ICU mask bit",
+            Element::RecognizeLine => "ICU recognize line",
+            Element::EpcBit { .. } => "ICU EPC capture",
+            Element::DepthBit { .. } => "ICU depth counter",
+        }
+    }
+    let mut buckets: std::collections::BTreeMap<&'static str, (usize, usize)> =
+        std::collections::BTreeMap::new();
+    for (site, verdict) in records {
+        let entry = buckets.entry(category(&site.element)).or_insert((0, 0));
+        entry.1 += 1;
+        if verdict.is_detected() {
+            entry.0 += 1;
+        }
+    }
+    buckets.into_iter().map(|(k, (d, t))| (k, d, t)).collect()
+}
+
+
+/// Runs a campaign over the *collapsed* fault universe and reports
+/// coverage against the uncollapsed totals — the way commercial fault
+/// simulators spend their cycles. Typically 30–40 % fewer simulations
+/// for identical coverage (collapsing preserves verdicts; asserted by
+/// the test suite).
+pub fn run_campaign_collapsed(
+    experiment: &Experiment,
+    golden: &Observation,
+    faults: &FaultList,
+    threads: usize,
+) -> CampaignResult {
+    let collapsed = sbst_fault::collapse(faults);
+    let (_, records) =
+        run_campaign_detailed(experiment, golden, collapsed.representatives(), threads);
+    let mut result = CampaignResult::default();
+    for (i, (_, verdict)) in records.iter().enumerate() {
+        let n = collapsed.class_size(i);
+        result.total += n;
+        match verdict {
+            Verdict::WrongSignature => result.wrong_signature += n,
+            Verdict::TestFail => result.test_fail += n,
+            Verdict::UnexpectedTrap => result.unexpected_trap += n,
+            Verdict::Hang => result.hang += n,
+            Verdict::Undetected => result.undetected += n,
+        }
+    }
+    result
+}

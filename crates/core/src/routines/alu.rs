@@ -1,0 +1,91 @@
+//! A generic boot-time STL routine (register file / ALU march).
+//!
+//! Not one of the paper's two case-study routines: this is the
+//! representative "rest of the STL" used to generate realistic parallel
+//! test activity for the Table I stall measurements (the paper runs the
+//! full library with the ICU/HDCU programs excluded).
+
+use sbst_fault::Unit;
+use sbst_isa::{AluOp, Asm, Reg};
+
+use crate::routine::{RoutineEnv, SelfTestRoutine};
+use crate::signature::emit_accumulate;
+
+const DB: Reg = Reg::R19;
+
+/// Generic ALU/register-file routine; `rounds` scales its length.
+#[derive(Debug, Clone)]
+pub struct GenericAluTest {
+    /// Number of march rounds.
+    pub rounds: u32,
+}
+
+impl GenericAluTest {
+    /// A routine with the given number of rounds.
+    pub fn new(rounds: u32) -> GenericAluTest {
+        GenericAluTest { rounds }
+    }
+}
+
+impl SelfTestRoutine for GenericAluTest {
+    fn name(&self) -> String {
+        format!("generic-alu[{} rounds]", self.rounds)
+    }
+
+    fn target_unit(&self) -> Option<Unit> {
+        None
+    }
+
+    fn emit_body(&self, asm: &mut Asm, env: &RoutineEnv, tag: &str) {
+        asm.li(DB, env.data_base);
+        asm.addi(Reg::R18, Reg::R0, 0);
+        for round in 0..self.rounds.max(1) {
+            let seed = 0x9e37_79b9u32.wrapping_mul(round + 1);
+            // Register-file march: write a distinct value to r1..r15,
+            // read each back through an ALU op into the signature.
+            for i in 1..16u32 {
+                asm.li(Reg::from_index(i as usize), seed.wrapping_add(i * 0x0101_0101));
+            }
+            for i in 1..16u32 {
+                emit_accumulate(asm, Reg::from_index(i as usize));
+            }
+            // ALU op chain with data dependencies.
+            for (i, op) in [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Xor,
+                AluOp::And,
+                AluOp::Or,
+                AluOp::Sll,
+                AluOp::Srl,
+                AluOp::Mul,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let rd = Reg::from_index(1 + (i % 8));
+                let rs = Reg::from_index(1 + ((i + 3) % 8));
+                let rt = Reg::from_index(9 + (i % 4));
+                asm.alu(op, rd, rs, rt);
+                emit_accumulate(asm, rd);
+            }
+            // Memory burst: store the march results, reload, fold.
+            for i in 0..8i16 {
+                env.emit_store(asm, Reg::from_index(1 + i as usize), DB, i * 4);
+            }
+            for i in 0..8i16 {
+                asm.lw(Reg::R16, DB, i * 4);
+                emit_accumulate(asm, Reg::R16);
+            }
+            // A short counted loop — taken branches all resolve by the
+            // end of the iteration (paper §III.2.1 compliant).
+            let lbl = format!("{tag}_march_{round}");
+            asm.li(Reg::R17, 4);
+            asm.label(&lbl);
+            asm.addi(Reg::R18, Reg::R18, 7);
+            asm.subi(Reg::R17, Reg::R17, 1);
+            asm.bne(Reg::R17, Reg::R0, &lbl);
+            emit_accumulate(asm, Reg::R18);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The Hazard Detection Control Unit self-test routine: the complete
+//! algorithm of \[19\] — forwarding excitation *plus* the
+//! performance-counter observation — extended with dedicated
+//! stall-pattern sequences (load-use chains, intra-packet splits, and
+//! the 32/64-bit overlap interlock on core C).
+//!
+//! Wrongly inserted stalls change no architectural value, so only the
+//! folded stall-counter delta can expose them — the paper's motivation
+//! for Performance Counters in the signature, and the reason this
+//! routine's signature is *unstable* in an uncached multi-core run.
+
+use sbst_cpu::CoreKind;
+use sbst_fault::Unit;
+use sbst_isa::{AluOp, Asm, Csr, Reg};
+
+use crate::routine::{RoutineEnv, SelfTestRoutine};
+use crate::routines::forwarding::ForwardingTest;
+use crate::signature::emit_accumulate;
+
+const V: Reg = Reg::R1;
+const P: Reg = Reg::R5;
+const C: Reg = Reg::R6;
+const DB: Reg = Reg::R8;
+const PC0: Reg = Reg::R26;
+
+/// The HDCU routine.
+#[derive(Debug, Clone)]
+pub struct HdcuTest {
+    kind: CoreKind,
+    inner: ForwardingTest,
+    /// Comparator-walk variants: (consumer slot, operand, producer slot,
+    /// producer distance).
+    walk: Vec<(u8, u8, u8, u8)>,
+}
+
+impl HdcuTest {
+    /// The standard HDCU routine for a core kind: the full \[19\]
+    /// forwarding excitation with performance counters, a comparator-bit
+    /// walk over the EX/MEM-stage comparator instances of both producer
+    /// pipes, and the stall suite. Fits the 8 KiB instruction cache
+    /// unsplit on cores A and B (like the paper's routine); on core C
+    /// the 64-bit sections push it over and it splits (paper §III.2.2).
+    pub fn new(kind: CoreKind) -> HdcuTest {
+        let mut walk = Vec::new();
+        for slot in [0u8, 1] {
+            for operand in [0u8, 1] {
+                for producer_slot in [0u8, 1] {
+                    walk.push((slot, operand, producer_slot, 1));
+                }
+            }
+        }
+        HdcuTest { kind, inner: ForwardingTest::with_pcs(kind), walk }
+    }
+
+    /// The exhaustive variant: full 4-pattern forwarding excitation plus
+    /// the walk over *every* comparator instance (EX/MEM and MEM/WB,
+    /// both producer pipes). Exceeds the instruction cache and relies on
+    /// routine splitting (paper §III.2.2).
+    pub fn exhaustive(kind: CoreKind) -> HdcuTest {
+        let mut walk = Vec::new();
+        for slot in [0u8, 1] {
+            for operand in [0u8, 1] {
+                for producer_slot in [0u8, 1] {
+                    for distance in [1u8, 2] {
+                        walk.push((slot, operand, producer_slot, distance));
+                    }
+                }
+            }
+        }
+        HdcuTest { kind, inner: ForwardingTest::with_pcs(kind), walk }
+    }
+
+    /// Comparator-bit walk: for every bit of the 5-bit register-index
+    /// comparators, a producer/consumer pair whose indices differ in
+    /// exactly that bit (mismatch case: the XNOR's stuck-at-1 forges a
+    /// forward) and an exact-match pair (stuck-at-0 kills the forward).
+    /// Repeated across consumer slots/operands and producer distances so
+    /// each physical comparator instance is exercised.
+    fn emit_cmp_walk(&self, asm: &mut Asm) {
+        // Register pairs differing in exactly bit 0..4 (body-owned set).
+        const PAIRS: [(Reg, Reg); 5] = [
+            (Reg::R18, Reg::R19), // bit 0
+            (Reg::R4, Reg::R6),   // bit 1
+            (Reg::R2, Reg::R6),   // bit 2
+            (Reg::R6, Reg::R14),  // bit 3
+            (Reg::R2, Reg::R18),  // bit 4
+        ];
+        for &(slot, operand, producer_slot, distance) in &self.walk {
+            for (bit, (ra, rb)) in PAIRS.into_iter().enumerate() {
+                // Known distinct register-file contents.
+                asm.li(ra, 0x1000 + bit as u32);
+                asm.li(rb, 0x2000 + bit as u32);
+                asm.li(V, 0x0bad_0000 | (slot as u32) << 8 | bit as u32);
+                let produce = |asm: &mut Asm| {
+                    if producer_slot == 0 {
+                        asm.add(ra, V, Reg::R0);
+                        asm.nop();
+                    } else {
+                        asm.nop();
+                        asm.add(ra, V, Reg::R0);
+                    }
+                };
+                let consume = |asm: &mut Asm, src: Reg| {
+                    if operand == 0 {
+                        asm.add(Reg::R15, src, Reg::R0);
+                    } else {
+                        asm.add(Reg::R15, Reg::R0, src);
+                    }
+                };
+                // Mismatch case: consumer reads `rb`, producer wrote `ra`
+                // (indices differ in exactly this bit): no forward.
+                asm.align(8);
+                produce(asm);
+                for _ in 1..distance {
+                    asm.addi(Reg::R7, Reg::R0, 1);
+                    asm.nop();
+                }
+                if slot == 0 {
+                    consume(asm, rb);
+                    asm.nop();
+                } else {
+                    asm.nop();
+                    consume(asm, rb);
+                }
+                emit_accumulate(asm, Reg::R15);
+                // Match case: consumer reads `ra` right behind its
+                // producer: must forward (the old RF value differs).
+                asm.align(8);
+                produce(asm);
+                for _ in 1..distance {
+                    asm.addi(Reg::R7, Reg::R0, 1);
+                    asm.nop();
+                }
+                if slot == 0 {
+                    consume(asm, ra);
+                    asm.nop();
+                } else {
+                    asm.nop();
+                    consume(asm, ra);
+                }
+                emit_accumulate(asm, Reg::R15);
+            }
+        }
+    }
+
+    /// Dedicated stall sequences with a known, deterministic stall count.
+    fn emit_stall_suite(&self, asm: &mut Asm, env: &RoutineEnv) {
+        asm.csrr(PC0, Csr::HazStalls);
+        asm.li(DB, env.data_base);
+        asm.li(V, 0x0f0f_0ff0);
+        // Load-use chain: each pair costs exactly one HDCU stall.
+        env.emit_store(asm, V, DB, 0);
+        for _ in 0..4 {
+            asm.align(8);
+            asm.lw(P, DB, 0);
+            asm.nop();
+            asm.add(C, P, Reg::R0); // load-use -> 1 stall
+            asm.nop();
+            emit_accumulate(asm, C);
+        }
+        // Intra-packet RAW splits: each costs exactly one split stall.
+        for _ in 0..4 {
+            asm.align(8);
+            asm.add(P, V, Reg::R0);
+            asm.add(C, P, V); // same packet -> split
+            emit_accumulate(asm, C);
+        }
+        // Back-to-back *independent* packets: must cost zero stalls; a
+        // stuck-at that forges a dependency inserts one here.
+        for _ in 0..4 {
+            asm.align(8);
+            asm.add(P, V, Reg::R0);
+            asm.addi(C, V, 3);
+            asm.add(Reg::R7, V, V);
+            asm.addi(Reg::R9, V, 5);
+            emit_accumulate(asm, Reg::R7);
+        }
+        if self.kind.has_alu64() {
+            // Overlap interlock: 64-bit producer, 32-bit consumer of the
+            // high half -> deterministic interlock stalls.
+            asm.li(Reg::R2, 0x1234_5678);
+            asm.li(Reg::R3, 0x0000_0001);
+            for _ in 0..2 {
+                asm.align(8);
+                asm.alu64(AluOp::Add, Reg::R10, Reg::R2, Reg::R2);
+                asm.nop();
+                asm.addi(C, Reg::R11, 0); // reads the high half as 32-bit
+                asm.nop();
+                emit_accumulate(asm, C);
+            }
+        }
+        // Fold the suite's stall-count delta.
+        asm.csrr(Reg::R27, Csr::HazStalls);
+        asm.sub(Reg::R27, Reg::R27, PC0);
+        emit_accumulate(asm, Reg::R27);
+    }
+}
+
+impl SelfTestRoutine for HdcuTest {
+    fn name(&self) -> String {
+        "hdcu[full, PCs]".to_string()
+    }
+
+    fn target_unit(&self) -> Option<Unit> {
+        Some(Unit::Hdcu)
+    }
+
+    fn emit_body(&self, asm: &mut Asm, env: &RoutineEnv, tag: &str) {
+        self.inner.emit_body(asm, env, tag);
+        self.emit_cmp_walk(asm);
+        self.emit_stall_suite(asm, env);
+    }
+
+    fn split(&self, parts: usize) -> Option<Vec<Box<dyn SelfTestRoutine>>> {
+        if parts < 2 || self.walk.len() < parts {
+            return None;
+        }
+        // Partition the walk variants; part 0 keeps the inner forwarding
+        // excitation + stall suite, the others get an empty inner.
+        let chunk = self.walk.len().div_ceil(parts);
+        Some(
+            self.walk
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, w)| {
+                    let inner = if i == 0 {
+                        self.inner.clone()
+                    } else {
+                        ForwardingTest::with_parts(Vec::new(), Vec::new(), true, false)
+                    };
+                    Box::new(HdcuTest { kind: self.kind, inner, walk: w.to_vec() })
+                        as Box<dyn SelfTestRoutine>
+                })
+                .collect(),
+        )
+    }
+}

@@ -1,0 +1,210 @@
+//! The Interrupt Control Unit self-test routine (after Singh et al.
+//! \[21\], adapted to synchronous *imprecise* interrupts).
+//!
+//! The body installs a trap handler (itself part of the cached body, so
+//! the execution loop stays bus-free), then triggers the interrupt
+//! sources in a sequence of phases:
+//!
+//! 1. arithmetic overflow alone (`addv`);
+//! 2. unaligned access alone (`lw` from an odd address);
+//! 3. overflow + multiply-overflow raised *in the same issue packet*
+//!    (priority/pairing pattern of \[21\]);
+//! 4. unaligned + illegal raised in the same packet.
+//!
+//! The handler folds the cause register, the imprecision depth and the
+//! *position-independent* EPC offset into the signature. Phases 3 and 4
+//! are where the paper's core A/B masking appears: those cores map both
+//! causes of a pair onto one shared cause-register bit, so single faults
+//! on the individual cause paths are invisible exactly when the paired
+//! source drives the same bit.
+
+use sbst_fault::Unit;
+use sbst_isa::{AluOp, Asm, Csr, Reg};
+
+use crate::routine::{emit_pc_anchor, RoutineEnv, SelfTestRoutine};
+use crate::signature::emit_accumulate;
+
+const ANCHOR: Reg = Reg::R25; // handler base = position anchor
+const TMP: Reg = Reg::R24;
+const TRAPS: Reg = Reg::R14; // trap counter
+const OPA: Reg = Reg::R2;
+const OPB: Reg = Reg::R3;
+const DST: Reg = Reg::R4;
+const DB: Reg = Reg::R8;
+
+/// The ICU routine.
+#[derive(Debug, Clone)]
+pub struct IcuTest {
+    /// Runtime repetitions of the phase sequence (a counted loop whose
+    /// branch is taken until the final round — compliant with paper
+    /// §III.2.1). More rounds mean more execution time per byte of code,
+    /// the regime where the TCM-based strategy's one-pass execution pays
+    /// off (Table IV).
+    pub rounds: u32,
+}
+
+impl IcuTest {
+    /// The default routine (8 rounds).
+    pub fn new() -> IcuTest {
+        IcuTest { rounds: 8 }
+    }
+
+    /// A routine with a custom round count.
+    pub fn with_rounds(rounds: u32) -> IcuTest {
+        IcuTest { rounds: rounds.max(1) }
+    }
+
+    /// Post-trigger shadow code: enough straight-line slack for the
+    /// imprecise recognition window to elapse before the next phase, with
+    /// a per-phase issue-rate profile so each trap is recognised at a
+    /// *different* imprecision depth (exercising distinct bits of the
+    /// ICU's depth counter — only reachable when the stream keeps
+    /// flowing, i.e. with warm caches).
+    fn emit_pad(asm: &mut Asm, profile: u8) {
+        match profile {
+            // Dual-issue nops: maximum depth.
+            0 => {
+                for _ in 0..28 {
+                    asm.nop();
+                }
+            }
+            // Dependent chain: every packet splits -> about half depth.
+            1 => {
+                for _ in 0..14 {
+                    asm.addi(Reg::R16, Reg::R16, 1);
+                    asm.add(Reg::R17, Reg::R16, Reg::R17);
+                }
+                for _ in 0..8 {
+                    asm.nop();
+                }
+            }
+            // Load-use pairs: stall-limited issue -> low depth.
+            2 => {
+                for _ in 0..5 {
+                    asm.lw(Reg::R16, DB, 0);
+                    asm.add(Reg::R17, Reg::R16, Reg::R17);
+                }
+                for _ in 0..18 {
+                    asm.nop();
+                }
+            }
+            // Independent pairs: near-maximum depth, different values.
+            _ => {
+                for _ in 0..14 {
+                    asm.addi(Reg::R16, Reg::R0, 3);
+                    asm.addi(Reg::R17, Reg::R0, 5);
+                }
+                for _ in 0..6 {
+                    asm.nop();
+                }
+            }
+        }
+    }
+}
+
+impl Default for IcuTest {
+    fn default() -> IcuTest {
+        IcuTest::new()
+    }
+}
+
+impl SelfTestRoutine for IcuTest {
+    fn name(&self) -> String {
+        format!("icu[{} rounds]", self.rounds)
+    }
+
+    fn target_unit(&self) -> Option<Unit> {
+        Some(Unit::Icu)
+    }
+
+    fn emit_body(&self, asm: &mut Asm, env: &RoutineEnv, tag: &str) {
+        let handler_end = format!("{tag}_hend");
+        // The jal both skips the handler and captures its address.
+        emit_pc_anchor(asm, ANCHOR, &format!("{tag}_skip"));
+        // -- jump over the handler (the anchor jal lands right here) --
+        asm.j(&handler_end);
+        // ---- trap handler -------------------------------------------
+        // (entered at ANCHOR + 4)
+        asm.csrr(TMP, Csr::IcuCause);
+        emit_accumulate(asm, TMP);
+        asm.csrr(TMP, Csr::IcuDepth);
+        emit_accumulate(asm, TMP);
+        asm.csrr(TMP, Csr::Epc);
+        asm.sub(TMP, TMP, ANCHOR); // position-independent EPC offset
+        emit_accumulate(asm, TMP);
+        asm.li(TMP, 0xf);
+        asm.csrw(Csr::IcuPending, TMP);
+        asm.addi(TRAPS, TRAPS, 1);
+        asm.mret();
+        asm.label(&handler_end);
+        // ---- install ------------------------------------------------
+        asm.addi(TMP, ANCHOR, 4); // handler entry
+        asm.csrw(Csr::TrapVec, TMP);
+        asm.addi(TRAPS, Reg::R0, 0);
+        asm.li(DB, env.data_base);
+        let rounds_label = format!("{tag}_rounds");
+        asm.li(Reg::R15, self.rounds.max(1));
+        asm.label(&rounds_label);
+        {
+            // Phase 1: overflow alone.
+            asm.li(OPA, 0x7fff_ffff);
+            asm.li(OPB, 1);
+            asm.addv(DST, OPA, OPB);
+            IcuTest::emit_pad(asm, 0);
+            emit_accumulate(asm, DST); // wrapped result is architectural
+            // Phase 2: unaligned load alone.
+            asm.align(8);
+            asm.lw(DST, DB, 2); // odd offset -> unaligned
+            asm.nop();
+            IcuTest::emit_pad(asm, 1);
+            // Phase 3: overflow + mul-overflow in one packet. The
+            // load-throttled pad that follows reads `[DB]`: prime that
+            // line *before* the trigger so the issue-rate profile inside
+            // the recognition window does not depend on whether the data
+            // cache is already warm (it is under the cache wrapper's
+            // loading loop, it is not on a TCM single pass).
+            asm.lw(Reg::R16, DB, 0);
+            asm.nops(2);
+            asm.li(OPA, 0x7fff_ffff);
+            asm.li(OPB, 2);
+            asm.align(8);
+            asm.addv(DST, OPA, OPB); // slot 0: overflow
+            asm.mulv(Reg::R5, OPA, OPB); // slot 1: mul overflow
+            IcuTest::emit_pad(asm, 2);
+            // Phase 4: unaligned + illegal in one packet.
+            asm.align(8);
+            asm.lw(DST, DB, 2); // slot 0: unaligned
+            asm.emit(sbst_isa::Instr::Alu64 {
+                // slot 1: odd register pair -> illegal on every core
+                op: AluOp::Add,
+                rd: Reg::R3,
+                rs1: Reg::R3,
+                rs2: Reg::R3,
+            });
+            IcuTest::emit_pad(asm, 3);
+        }
+        asm.subi(Reg::R15, Reg::R15, 1);
+        asm.bne(Reg::R15, Reg::R0, &rounds_label);
+        // Mask-toggle phase (once, after the rounds): disable the
+        // overflow cause, trigger it, verify NO trap arrives inside the
+        // window (the trap count is folded), then re-enable and observe
+        // the deferred trap. Exercises the mask bits in both directions.
+        asm.li(TMP, 0b1110);
+        asm.csrw(Csr::IcuMask, TMP);
+        asm.li(OPA, 0x7fff_ffff);
+        asm.li(OPB, 1);
+        asm.addv(DST, OPA, OPB);
+        IcuTest::emit_pad(asm, 0);
+        emit_accumulate(asm, TRAPS); // unchanged if the mask works
+        asm.li(TMP, 0xf);
+        asm.csrw(Csr::IcuMask, TMP); // re-enable; pending cause now traps
+        asm.addi(TMP, Reg::R0, 0); // any instruction restarts nothing: the
+        asm.addv(DST, OPA, OPB); // re-trigger with the mask open
+        IcuTest::emit_pad(asm, 0);
+        emit_accumulate(asm, TRAPS);
+        // The number of traps taken is itself an observation.
+        emit_accumulate(asm, TRAPS);
+        // Disarm the handler so a later routine can install its own.
+        asm.csrw(Csr::TrapVec, Reg::R0);
+    }
+}

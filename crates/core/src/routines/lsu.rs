@@ -1,0 +1,88 @@
+//! Load/store-unit routine.
+//!
+//! Stores and reloads patterns across SRAM scratch and the data TCM,
+//! exercising store-to-load forwarding distances, cache write paths
+//! (policy-aware via [`RoutineEnv::emit_store`]) and the atomic swap.
+//! Another representative slice of the boot-time STL beyond the two
+//! case-study routines.
+
+use sbst_fault::Unit;
+use sbst_isa::{Asm, Reg};
+use sbst_mem::DTCM_BASE;
+
+use crate::routine::{RoutineEnv, SelfTestRoutine};
+use crate::signature::emit_accumulate;
+
+const SB: Reg = Reg::R8; // SRAM scratch base
+const TB: Reg = Reg::R9; // DTCM base
+const V: Reg = Reg::R1;
+const W: Reg = Reg::R2;
+const T: Reg = Reg::R3;
+
+/// The load/store-unit routine; `rounds` scales the pattern sweep.
+#[derive(Debug, Clone)]
+pub struct LsuTest {
+    /// Number of pattern rounds.
+    pub rounds: u32,
+}
+
+impl LsuTest {
+    /// Default two-round routine.
+    pub fn new() -> LsuTest {
+        LsuTest { rounds: 2 }
+    }
+}
+
+impl Default for LsuTest {
+    fn default() -> LsuTest {
+        LsuTest::new()
+    }
+}
+
+impl SelfTestRoutine for LsuTest {
+    fn name(&self) -> String {
+        format!("lsu[{} rounds]", self.rounds)
+    }
+
+    fn target_unit(&self) -> Option<Unit> {
+        None
+    }
+
+    fn emit_body(&self, asm: &mut Asm, env: &RoutineEnv, _tag: &str) {
+        asm.li(SB, env.data_base);
+        asm.li(TB, DTCM_BASE + 0x40);
+        for round in 0..self.rounds.max(1) {
+            let seed = 0xc001_d00du32.rotate_left(round * 5);
+            // SRAM pattern sweep across 8 word offsets.
+            for i in 0..8i16 {
+                asm.li(V, seed ^ (i as u32).wrapping_mul(0x1111_1111));
+                env.emit_store(asm, V, SB, i * 4);
+            }
+            // Immediate load-back (store-to-load forwarding distance 0).
+            for i in 0..8i16 {
+                asm.lw(T, SB, i * 4);
+                emit_accumulate(asm, T);
+            }
+            // Store then load with intervening work (distance > buffer).
+            asm.li(V, seed ^ 0xffff_0000);
+            env.emit_store(asm, V, SB, 32);
+            for _ in 0..6 {
+                asm.addi(W, W, 3);
+            }
+            asm.lw(T, SB, 32);
+            emit_accumulate(asm, T);
+            // DTCM round trip (single-cycle private memory).
+            asm.li(V, seed ^ 0x00ff_00ff);
+            asm.sw(V, TB, 0);
+            asm.lw(T, TB, 0);
+            emit_accumulate(asm, T);
+            // Atomic swap on SRAM: old value and final content both fold.
+            asm.li(V, round + 1);
+            asm.addi(W, SB, 36);
+            asm.amoswap(T, V, W);
+            emit_accumulate(asm, T);
+            asm.lw(T, SB, 36);
+            emit_accumulate(asm, T);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! The Software Test Library's self-test routines.
+
+mod alu;
+mod branch;
+mod forwarding;
+mod hdcu;
+mod icu;
+mod lsu;
+mod regfile;
+
+pub use alu::GenericAluTest;
+pub use branch::BranchTest;
+pub use forwarding::{default_patterns, ForwardingTest, PathCombo};
+pub use hdcu::HdcuTest;
+pub use icu::IcuTest;
+pub use lsu::LsuTest;
+pub use regfile::RegFileTest;

@@ -1,0 +1,76 @@
+//! Register-file march routine.
+//!
+//! Classic SBST content (the paper's STL contains many such routines
+//! besides the two case studies): a March-like element sequence over the
+//! 31 writable registers with walking-one/walking-zero and checkerboard
+//! patterns, every readback folded into the signature.
+
+use sbst_fault::Unit;
+use sbst_isa::{Asm, Reg};
+
+use crate::routine::{RoutineEnv, SelfTestRoutine};
+use crate::signature::emit_accumulate;
+
+/// The register-file march routine.
+///
+/// Uses `r1..=r18` plus `r24..=r28` (the body-owned set): the wrapper
+/// and signature registers are never touched, so the routine composes
+/// into STL sequences like any other.
+#[derive(Debug, Clone, Default)]
+pub struct RegFileTest {
+    /// Include the checkerboard element (doubles the length).
+    pub checkerboard: bool,
+}
+
+impl RegFileTest {
+    /// Full march (walking patterns + checkerboard).
+    pub fn new() -> RegFileTest {
+        RegFileTest { checkerboard: true }
+    }
+
+    /// The registers this routine marches over.
+    fn regs() -> impl Iterator<Item = Reg> {
+        // Body-owned registers only (see `SelfTestRoutine` conventions).
+        (1..=18usize).chain(24..=28).map(Reg::from_index)
+    }
+}
+
+impl SelfTestRoutine for RegFileTest {
+    fn name(&self) -> String {
+        format!("regfile[{}]", if self.checkerboard { "march+cb" } else { "march" })
+    }
+
+    fn target_unit(&self) -> Option<Unit> {
+        None
+    }
+
+    fn emit_body(&self, asm: &mut Asm, _env: &RoutineEnv, _tag: &str) {
+        // Element 1: ascending write of distinct walking-one values.
+        for (i, r) in RegFileTest::regs().enumerate() {
+            asm.li(r, 1u32 << (i % 32));
+        }
+        // Element 2: ascending read (fold), then write complement.
+        for (i, r) in RegFileTest::regs().enumerate() {
+            emit_accumulate(asm, r);
+            asm.li(r, !(1u32 << (i % 32)));
+        }
+        // Element 3: descending read (fold), write address-in-register.
+        let regs: Vec<Reg> = RegFileTest::regs().collect();
+        for (i, &r) in regs.iter().enumerate().rev() {
+            emit_accumulate(asm, r);
+            asm.li(r, 0x0101_0101u32.wrapping_mul(i as u32 + 1));
+        }
+        // Element 4: descending read.
+        for &r in regs.iter().rev() {
+            emit_accumulate(asm, r);
+        }
+        if self.checkerboard {
+            for (i, &r) in regs.iter().enumerate() {
+                asm.li(r, if i % 2 == 0 { 0xaaaa_aaaa } else { 0x5555_5555 });
+            }
+            for &r in &regs {
+                emit_accumulate(asm, r);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Test signatures.
+//!
+//! SBST routines accumulate every observable value into a *signature*
+//! (a software MISR): `sig = rotl(sig, 1) ^ value`. In field, comparing
+//! the final signature with the fault-free golden value is the only safe
+//! way to decide pass/fail (paper §I). This module provides both the
+//! host-side accumulator used to predict golden signatures and the
+//! assembly emitters routines use to compute it on the core.
+
+use sbst_isa::{Asm, Reg};
+
+/// Register holding the running signature, by STL convention.
+pub const SIG_REG: Reg = Reg::R20;
+/// Scratch register clobbered by [`emit_accumulate`].
+pub const SIG_TMP: Reg = Reg::R30;
+
+/// Host-side mirror of the software MISR.
+///
+/// # Example
+///
+/// ```
+/// use sbst_stl::Signature;
+///
+/// let mut sig = Signature::new();
+/// sig.push(0x1234_5678);
+/// sig.push(0x9abc_def0);
+/// assert_ne!(sig.value(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Signature(u32);
+
+impl Signature {
+    /// A fresh signature (value 0).
+    pub fn new() -> Signature {
+        Signature(0)
+    }
+
+    /// Folds one observed value.
+    pub fn push(&mut self, value: u32) {
+        self.0 = self.0.rotate_left(1) ^ value;
+    }
+
+    /// The accumulated value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+/// Emits `sig = 0` (start of the execution loop's accumulation).
+pub fn emit_init(asm: &mut Asm) {
+    asm.addi(SIG_REG, Reg::R0, 0);
+}
+
+/// Emits `sig = rotl(sig, 1) ^ value_reg` (4 instructions, clobbers
+/// [`SIG_TMP`]).
+pub fn emit_accumulate(asm: &mut Asm, value_reg: Reg) {
+    asm.slli(SIG_TMP, SIG_REG, 1);
+    asm.srli(SIG_REG, SIG_REG, 31);
+    asm.or(SIG_REG, SIG_TMP, SIG_REG);
+    asm.xor(SIG_REG, SIG_REG, value_reg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_cpu::{CoreKind, RefCpu, RefStop};
+
+    #[test]
+    fn rotate_xor_semantics() {
+        let mut s = Signature::new();
+        s.push(1);
+        assert_eq!(s.value(), 1);
+        s.push(0);
+        assert_eq!(s.value(), 2);
+        s.push(0x8000_0000);
+        assert_eq!(s.value(), 0x8000_0004);
+        s.push(0);
+        assert_eq!(s.value(), 0x0000_0009, "msb rotates into bit 0");
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut a = Signature::new();
+        a.push(1);
+        a.push(2);
+        let mut b = Signature::new();
+        b.push(2);
+        b.push(1);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn emitted_code_matches_host_mirror() {
+        let values = [0xdead_beefu32, 0x0000_0001, 0xffff_ffff, 0x1234_5678];
+        let mut asm = Asm::new();
+        emit_init(&mut asm);
+        for (i, &v) in values.iter().enumerate() {
+            asm.li(Reg::R1, v);
+            emit_accumulate(&mut asm, Reg::R1);
+            let _ = i;
+        }
+        asm.halt();
+        let mut cpu = RefCpu::new(CoreKind::A, asm.assemble(0x100).unwrap());
+        assert_eq!(cpu.run(10_000), RefStop::Halted);
+        let mut expected = Signature::new();
+        for &v in &values {
+            expected.push(v);
+        }
+        assert_eq!(cpu.reg(SIG_REG), expected.value());
+    }
+}

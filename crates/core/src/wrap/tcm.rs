@@ -1,0 +1,126 @@
+//! The competing strategy: TCM (scratchpad) based execution.
+//!
+//! The test body is assembled for the instruction TCM and embedded in
+//! Flash as data; a copier loop moves it into the TCM at boot and jumps
+//! there. The body then runs with single-cycle fetches — as deterministic
+//! as the cache-based wrapper, but the TCM bytes stay *permanently
+//! reserved* for test purposes, which is the memory-overhead drawback
+//! Table IV quantifies.
+
+use sbst_isa::{Asm, Program, Reg};
+use sbst_mem::ITCM_BASE;
+
+use crate::routine::{
+    RoutineEnv, SelfTestRoutine, RESULT_SIG_OFF, RESULT_STATUS_OFF, STATUS_DONE, STATUS_FAIL,
+    STATUS_PASS,
+};
+use crate::signature::{emit_init, SIG_REG};
+use crate::wrap::cache::{WrapConfig, WrapError};
+
+const RESULT_REG: Reg = Reg::R22;
+const TMP_REG: Reg = Reg::R23;
+const COPY_SRC: Reg = Reg::R24;
+const COPY_DST: Reg = Reg::R25;
+const COPY_CNT: Reg = Reg::R26;
+const COPY_TMP: Reg = Reg::R27;
+
+/// A TCM-wrapped routine.
+#[derive(Debug, Clone)]
+pub struct TcmWrapped {
+    /// The Flash-resident program (copier + embedded body image).
+    pub program: Program,
+    /// Bytes of instruction TCM permanently reserved for the test —
+    /// the paper's "overall memory overhead" column of Table IV.
+    pub tcm_overhead_bytes: usize,
+}
+
+/// Emits the TCM-based version of `routine`, based at `flash_base`.
+///
+/// Unlike [`wrap_cached`](crate::wrap_cached) the result is a fixed
+/// [`Program`]: the copier embeds the absolute Flash address of the body
+/// image.
+///
+/// # Errors
+///
+/// Returns [`WrapError::TooLarge`] if the body does not fit the TCM, or
+/// a propagated assembly error.
+pub fn wrap_tcm(
+    routine: &dyn SelfTestRoutine,
+    env: &RoutineEnv,
+    cfg: &WrapConfig,
+    tag: &str,
+    flash_base: u32,
+) -> Result<TcmWrapped, WrapError> {
+    // The body image, assembled for TCM execution: a single pass (the
+    // explicit copy replaces the loading loop), then publish + check.
+    let mut body = Asm::new();
+    body.li(RESULT_REG, env.result_addr);
+    emit_init(&mut body);
+    routine.emit_body(&mut body, env, tag);
+    body.sw(SIG_REG, RESULT_REG, RESULT_SIG_OFF);
+    match cfg.expected_sig {
+        Some(expected) => {
+            let fail = format!("{tag}_tfail");
+            let done = format!("{tag}_tdone");
+            body.li(TMP_REG, expected);
+            body.bne(SIG_REG, TMP_REG, &fail);
+            body.li(TMP_REG, STATUS_PASS);
+            body.sw(TMP_REG, RESULT_REG, RESULT_STATUS_OFF);
+            body.j(&done);
+            body.label(&fail);
+            body.li(TMP_REG, STATUS_FAIL);
+            body.sw(TMP_REG, RESULT_REG, RESULT_STATUS_OFF);
+            body.label(&done);
+        }
+        None => {
+            body.li(TMP_REG, STATUS_DONE);
+            body.sw(TMP_REG, RESULT_REG, RESULT_STATUS_OFF);
+        }
+    }
+    body.halt();
+    let image = body.assemble(ITCM_BASE)?;
+    if image.len_bytes() > sbst_mem::TCM_SIZE as usize {
+        return Err(WrapError::TooLarge {
+            image_bytes: image.len_bytes(),
+            capacity: sbst_mem::TCM_SIZE,
+        });
+    }
+
+    // The Flash-resident copier. Built twice: the first pass only
+    // measures the copier's (constant — every constant uses the fixed
+    // 2-instruction `li32`) length so the embedded image address is
+    // exact in the second pass.
+    // Round the copy length up to the 4x-unrolled copier's stride.
+    let nwords = (image.words().len() as u32).div_ceil(4) * 4;
+    let build_copier = |image_addr: u32| {
+        let mut copier = Asm::new();
+        copier.li32(COPY_SRC, image_addr);
+        copier.li32(COPY_DST, ITCM_BASE);
+        copier.li32(COPY_CNT, nwords / 4);
+        copier.label("copy");
+        for i in 0..4i16 {
+            copier.lw(COPY_TMP, COPY_SRC, 4 * i);
+            copier.sw(COPY_TMP, COPY_DST, 4 * i);
+        }
+        copier.addi(COPY_SRC, COPY_SRC, 16);
+        copier.addi(COPY_DST, COPY_DST, 16);
+        copier.subi(COPY_CNT, COPY_CNT, 1);
+        copier.bne(COPY_CNT, Reg::R0, "copy");
+        copier.li32(COPY_TMP, ITCM_BASE);
+        copier.jalr(Reg::R0, COPY_TMP, 0);
+        copier
+    };
+    let copier_len = build_copier(0).len() as u32;
+    let image_addr = flash_base + copier_len * 4;
+    let mut copier = build_copier(image_addr);
+    // Embed the image as data (padded to the copier's 4-word stride).
+    for &w in image.words() {
+        copier.word(w);
+    }
+    for _ in image.words().len() as u32..nwords {
+        copier.word(0);
+    }
+    let program = copier.assemble(flash_base)?;
+    debug_assert_eq!(program.word_at(image_addr), Some(image.words()[0]));
+    Ok(TcmWrapped { program, tcm_overhead_bytes: image.len_bytes() })
+}

@@ -1,0 +1,108 @@
+//! Per-routine behaviour tests: every STL routine runs cleanly under the
+//! wrapper on every core kind, produces a nonzero deterministic
+//! signature, and honours the register conventions.
+
+use sbst_cpu::CoreKind;
+use sbst_fault::FaultPlane;
+use sbst_stl::routines::{
+    BranchTest, ForwardingTest, GenericAluTest, HdcuTest, IcuTest, LsuTest, RegFileTest,
+};
+use sbst_stl::{
+    plan_cached, run_standalone, wrap_cached, RoutineEnv, SelfTestRoutine, WrapConfig,
+    STATUS_DONE,
+};
+
+fn all_routines(kind: CoreKind) -> Vec<Box<dyn SelfTestRoutine>> {
+    vec![
+        Box::new(GenericAluTest::new(2)),
+        Box::new(RegFileTest::new()),
+        Box::new(BranchTest::new()),
+        Box::new(LsuTest::new()),
+        Box::new(ForwardingTest::without_pcs(kind)),
+        Box::new(HdcuTest::new(kind)),
+        Box::new(IcuTest::with_rounds(2)),
+    ]
+}
+
+#[test]
+fn every_routine_runs_wrapped_on_every_core_kind() {
+    for kind in CoreKind::ALL {
+        for routine in all_routines(kind) {
+            let env = RoutineEnv::for_core(kind);
+            let cfg = WrapConfig::default();
+            // Oversized routines split into cache-sized parts
+            // (paper §III.2.2) — each part must run cleanly.
+            let parts = plan_cached(routine.as_ref(), &env, &cfg, "r")
+                .unwrap_or_else(|e| panic!("{} does not wrap: {e}", routine.name()));
+            for (i, asm) in parts.iter().enumerate() {
+                let part_env =
+                    RoutineEnv { result_addr: env.result_addr + 16 * i as u32, ..env };
+                let report = run_standalone(
+                    asm,
+                    &part_env,
+                    kind,
+                    true,
+                    0x400,
+                    FaultPlane::fault_free(),
+                    30_000_000,
+                );
+                assert!(
+                    report.outcome.is_clean(),
+                    "{} part {i} on {kind}: {:?}",
+                    routine.name(),
+                    report.outcome
+                );
+                assert_eq!(report.status, STATUS_DONE, "{} on {kind}", routine.name());
+                assert_ne!(report.signature, 0, "{} on {kind}", routine.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn signatures_are_position_independent_under_the_wrapper() {
+    // Every routine must fold only position-independent observations, so
+    // the same golden works wherever the scenario places the code.
+    let kind = CoreKind::A;
+    for routine in all_routines(kind) {
+        let env = RoutineEnv::for_core(kind);
+        let cfg = WrapConfig::default();
+        let asm = wrap_cached(routine.as_ref(), &env, &cfg, "p").expect("wraps");
+        let sig_at = |base: u32| {
+            let r = run_standalone(
+                &asm, &env, kind, true, base, FaultPlane::fault_free(), 30_000_000,
+            );
+            assert!(r.outcome.is_clean(), "{} at {base:#x}", routine.name());
+            r.signature
+        };
+        assert_eq!(
+            sig_at(0x400),
+            sig_at(0x0040_0000),
+            "{} signature depends on code position",
+            routine.name()
+        );
+        assert_eq!(
+            sig_at(0x400),
+            sig_at(0x0400 + 4 + 8), // different alignment class
+            "{} signature depends on alignment",
+            routine.name()
+        );
+    }
+}
+
+#[test]
+fn distinct_routines_have_distinct_signatures() {
+    let kind = CoreKind::A;
+    let mut sigs = Vec::new();
+    for routine in all_routines(kind) {
+        let env = RoutineEnv::for_core(kind);
+        let asm = wrap_cached(routine.as_ref(), &env, &WrapConfig::default(), "d").unwrap();
+        let r = run_standalone(&asm, &env, kind, true, 0x400, FaultPlane::fault_free(), 30_000_000);
+        sigs.push((routine.name(), r.signature));
+    }
+    for i in 0..sigs.len() {
+        for j in i + 1..sigs.len() {
+            assert_ne!(sigs[i].1, sigs[j].1, "{} vs {}", sigs[i].0, sigs[j].0);
+        }
+    }
+}

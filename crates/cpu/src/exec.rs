@@ -1,0 +1,119 @@
+//! Architectural execution semantics shared by the pipeline model and the
+//! functional reference model ([`RefCpu`](crate::RefCpu)).
+
+use sbst_isa::{AluOp, Cause};
+
+/// Result of a 32-bit ALU evaluation: the (wrapping) value plus the
+/// imprecise exception it raises, if any.
+pub fn alu32(op: AluOp, a: u32, b: u32) -> (u32, Option<Cause>) {
+    match op {
+        AluOp::Add => (a.wrapping_add(b), None),
+        AluOp::Sub => (a.wrapping_sub(b), None),
+        AluOp::And => (a & b, None),
+        AluOp::Or => (a | b, None),
+        AluOp::Xor => (a ^ b, None),
+        AluOp::Sll => (a.wrapping_shl(b & 31), None),
+        AluOp::Srl => (a.wrapping_shr(b & 31), None),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 31) as u32, None),
+        AluOp::Slt => (u32::from((a as i32) < (b as i32)), None),
+        AluOp::Mul => (a.wrapping_mul(b), None),
+        AluOp::AddV => {
+            let (v, ovf) = (a as i32).overflowing_add(b as i32);
+            (v as u32, ovf.then_some(Cause::Overflow))
+        }
+        AluOp::MulV => {
+            let wide = (a as i32 as i64) * (b as i32 as i64);
+            let v = wide as i32;
+            ((v as u32), (wide != v as i64).then_some(Cause::MulOverflow))
+        }
+    }
+}
+
+/// Expands a 16-bit instruction immediate to the 32-bit operand value.
+///
+/// Arithmetic/comparison immediates (`addi`, `slti`, `addvi`) are
+/// sign-extended; logical and shift immediates (`andi`, `ori`, `xori`,
+/// `slli`, `srli`, `srai`) are zero-extended so that `li` (`lui`+`ori`)
+/// can synthesize any 32-bit constant.
+pub fn imm_operand(op: AluOp, imm: i16) -> u32 {
+    match op {
+        AluOp::Add | AluOp::Slt | AluOp::AddV => imm as i32 as u32,
+        _ => imm as u16 as u32,
+    }
+}
+
+/// 64-bit (register-pair) ALU evaluation, core C only.
+pub fn alu64(op: AluOp, a: u64, b: u64) -> (u64, Option<Cause>) {
+    match op {
+        AluOp::Add => (a.wrapping_add(b), None),
+        AluOp::Sub => (a.wrapping_sub(b), None),
+        AluOp::And => (a & b, None),
+        AluOp::Or => (a | b, None),
+        AluOp::Xor => (a ^ b, None),
+        AluOp::Sll => (a.wrapping_shl((b & 63) as u32), None),
+        AluOp::Srl => (a.wrapping_shr((b & 63) as u32), None),
+        AluOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32) as u64, None),
+        AluOp::Slt => (u64::from((a as i64) < (b as i64)), None),
+        AluOp::Mul => (a.wrapping_mul(b), None),
+        AluOp::AddV => {
+            let (v, ovf) = (a as i64).overflowing_add(b as i64);
+            (v as u64, ovf.then_some(Cause::Overflow))
+        }
+        AluOp::MulV => {
+            let (v, ovf) = (a as i64).overflowing_mul(b as i64);
+            (v as u64, ovf.then_some(Cause::MulOverflow))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps_silently() {
+        assert_eq!(alu32(AluOp::Add, u32::MAX, 1), (0, None));
+    }
+
+    #[test]
+    fn addv_raises_on_signed_overflow() {
+        let (v, c) = alu32(AluOp::AddV, i32::MAX as u32, 1);
+        assert_eq!(v, i32::MIN as u32, "wrapped result still produced");
+        assert_eq!(c, Some(Cause::Overflow));
+        assert_eq!(alu32(AluOp::AddV, 1, 2), (3, None));
+    }
+
+    #[test]
+    fn mulv_raises_when_product_overflows() {
+        assert_eq!(alu32(AluOp::MulV, 3, 4), (12, None));
+        let (_, c) = alu32(AluOp::MulV, 0x4000_0000, 4);
+        assert_eq!(c, Some(Cause::MulOverflow));
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(alu32(AluOp::Sll, 1, 33).0, 2);
+        assert_eq!(alu32(AluOp::Sra, 0x8000_0000, 31).0, u32::MAX);
+    }
+
+    #[test]
+    fn slt_is_signed() {
+        assert_eq!(alu32(AluOp::Slt, u32::MAX, 0).0, 1, "-1 < 0");
+    }
+
+    #[test]
+    fn imm_extension_rules() {
+        assert_eq!(imm_operand(AluOp::Add, -1), u32::MAX);
+        assert_eq!(imm_operand(AluOp::Or, -1), 0xffff);
+        assert_eq!(imm_operand(AluOp::Xor, 0x7fff), 0x7fff);
+    }
+
+    #[test]
+    fn alu64_basics() {
+        assert_eq!(alu64(AluOp::Add, u64::MAX, 1), (0, None));
+        let (v, c) = alu64(AluOp::AddV, i64::MAX as u64, 1);
+        assert_eq!(v, i64::MIN as u64);
+        assert_eq!(c, Some(Cause::Overflow));
+        assert_eq!(alu64(AluOp::Sll, 1, 63).0, 1 << 63);
+    }
+}

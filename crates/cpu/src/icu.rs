@@ -1,0 +1,447 @@
+//! The Interrupt Control Unit: synchronous *imprecise* interrupts.
+//!
+//! Causes are latched when the offending instruction executes, but the
+//! trap is only *recognised* [`RECOG_LAT`] cycles later. Instructions
+//! issued in that window complete normally — the number of instructions
+//! retired "beyond" the interrupting one (the imprecision depth) and the
+//! captured EPC therefore depend on fetch/stall timing, which is exactly
+//! why the paper's ICU self-test routine produces an unstable signature
+//! in an uncached multi-core run.
+
+use sbst_fault::{Element, FaultPlane, FaultSite, Polarity, Unit};
+use sbst_isa::{Cause, Csr};
+
+use crate::CoreKind;
+
+/// Cycles between a cause being latched and the trap being recognised.
+///
+/// The window is long enough that, with warm caches, several younger
+/// instructions enter the pipeline before recognition — while an
+/// uncached Flash fetch may or may not deliver any, depending on bus
+/// contention. This is the paper's "variable number of instructions
+/// executed beyond the interrupting instruction".
+pub const RECOG_LAT: u32 = 12;
+
+/// Number of EPC capture bits exposed as fault sites.
+const EPC_BITS: u8 = 32;
+/// Number of imprecision-depth counter bits exposed as fault sites.
+const DEPTH_BITS: u8 = 8;
+
+/// The per-core Interrupt Control Unit.
+#[derive(Debug, Clone)]
+pub struct Icu {
+    kind: CoreKind,
+    pending: [bool; 4],
+    mask: [bool; 4],
+    countdown: Option<u32>,
+    in_trap: bool,
+    epc: u32,
+    depth: u32,
+}
+
+impl Icu {
+    /// Creates a reset ICU (nothing pending, all causes enabled).
+    pub fn new(kind: CoreKind) -> Icu {
+        Icu {
+            kind,
+            pending: [false; 4],
+            mask: [true; 4],
+            countdown: None,
+            in_trap: false,
+            epc: 0,
+            depth: 0,
+        }
+    }
+
+    /// Effective pending latch value for `cause`, with latch-Q faults.
+    fn pending_eff(&self, cause: Cause, plane: &FaultPlane) -> bool {
+        let mut v = self.pending[cause.index()];
+        if let Some((Element::PendLatchQ { cause: c }, pol)) = plane.query(Unit::Icu, 0) {
+            if c as usize == cause.index() {
+                v = pol.value();
+            }
+        }
+        v
+    }
+
+    /// Effective mask bit for `cause`, with mask-bit faults.
+    fn mask_eff(&self, cause: Cause, plane: &FaultPlane) -> bool {
+        let mut v = self.mask[cause.index()];
+        if let Some((Element::MaskBit { cause: c }, pol)) = plane.query(Unit::Icu, 0) {
+            if c as usize == cause.index() {
+                v = pol.value();
+            }
+        }
+        v
+    }
+
+    /// Latches `cause` (called from EX when an instruction raises it).
+    ///
+    /// Returns `true` when this raise *started* a recognition window
+    /// (i.e. this is the interrupting instruction the imprecision depth
+    /// is measured from).
+    pub fn raise(&mut self, cause: Cause, plane: &FaultPlane) -> bool {
+        let mut set = true;
+        if let Some((Element::PendSetLine { cause: c }, pol)) = plane.query(Unit::Icu, 0) {
+            if c as usize == cause.index() {
+                set = pol.value();
+            }
+        }
+        if set {
+            self.pending[cause.index()] = true;
+        }
+        if self.countdown.is_none()
+            && !self.in_trap
+            && self.pending_eff(cause, plane)
+            && self.mask_eff(cause, plane)
+        {
+            self.countdown = Some(RECOG_LAT);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Advances the recognition timer by one cycle; returns `true` when
+    /// the trap must be taken *this* cycle.
+    pub fn tick(&mut self, plane: &FaultPlane) -> bool {
+        // A stuck-at-1 pending *set* line loads its latch every cycle —
+        // the cause pends permanently and (if enabled) keeps trapping.
+        if let Some((Element::PendSetLine { cause: c }, pol)) = plane.query(Unit::Icu, 0) {
+            if pol.value() {
+                if let Some(&cause) = Cause::ALL.get(c as usize) {
+                    self.pending[cause.index()] = true;
+                    if self.countdown.is_none()
+                        && !self.in_trap
+                        && self.mask_eff(cause, plane)
+                    {
+                        self.countdown = Some(RECOG_LAT);
+                    }
+                }
+            }
+        }
+        // A stuck recognition line overrides the timer entirely.
+        if let Some((Element::RecognizeLine, pol)) = plane.query(Unit::Icu, 0) {
+            return pol.value() && !self.in_trap;
+        }
+        match self.countdown {
+            Some(0) | None => false,
+            Some(n) => {
+                let n = n - 1;
+                self.countdown = Some(n);
+                if n == 0 {
+                    self.countdown = None;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records trap entry: captures EPC and imprecision depth (through
+    /// possibly faulty capture registers) and blocks further recognition
+    /// until [`mret`](Icu::mret).
+    pub fn recognize(&mut self, epc: u32, depth: u32, plane: &FaultPlane) {
+        let mut epc = epc;
+        let mut depth = depth;
+        match plane.query(Unit::Icu, 0) {
+            Some((Element::EpcBit { bit }, pol)) if bit < EPC_BITS => {
+                epc = pol.force(epc as u64, bit) as u32;
+            }
+            Some((Element::DepthBit { bit }, pol)) if bit < DEPTH_BITS => {
+                depth = pol.force(depth as u64, bit) as u32;
+            }
+            _ => {}
+        }
+        self.epc = epc;
+        self.depth = depth;
+        self.in_trap = true;
+        self.countdown = None;
+    }
+
+    /// Handles `mret`: leaves the trap context and, if enabled causes are
+    /// still pending, restarts the recognition timer.
+    pub fn mret(&mut self, plane: &FaultPlane) {
+        self.in_trap = false;
+        if Cause::ALL
+            .iter()
+            .any(|&c| self.pending_eff(c, plane) && self.mask_eff(c, plane))
+        {
+            self.countdown = Some(RECOG_LAT);
+        }
+    }
+
+    /// Whether the core is inside a trap handler.
+    pub fn in_trap(&self) -> bool {
+        self.in_trap
+    }
+
+    /// Captured EPC.
+    pub fn epc(&self) -> u32 {
+        self.epc
+    }
+
+    /// Software CSR read of an ICU register.
+    ///
+    /// Returns `None` if `csr` is not ICU-owned.
+    pub fn read(&self, csr: Csr, plane: &FaultPlane) -> Option<u32> {
+        Some(match csr {
+            Csr::IcuCause => self.cause_reg(plane),
+            Csr::IcuPending => Cause::ALL
+                .iter()
+                .fold(0u32, |acc, &c| {
+                    acc | (u32::from(self.pending_eff(c, plane)) << c.index())
+                }),
+            Csr::IcuMask => Cause::ALL.iter().fold(0u32, |acc, &c| {
+                acc | (u32::from(self.mask_eff(c, plane)) << c.index())
+            }),
+            Csr::Epc => self.epc,
+            Csr::IcuDepth => self.depth,
+            _ => return None,
+        })
+    }
+
+    /// Software CSR write of an ICU register.
+    ///
+    /// `IcuPending` is write-1-to-clear; `IcuMask` is written directly.
+    /// Returns `false` if `csr` is not ICU-owned or read-only.
+    pub fn write(&mut self, csr: Csr, value: u32) -> bool {
+        match csr {
+            Csr::IcuPending => {
+                for c in Cause::ALL {
+                    if value & (1 << c.index()) != 0 {
+                        self.pending[c.index()] = false;
+                    }
+                }
+            }
+            Csr::IcuMask => {
+                for c in Cause::ALL {
+                    self.mask[c.index()] = value & (1 << c.index()) != 0;
+                }
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// The cause register as read by software: pending causes OR-ed into
+    /// their (core-kind dependent) cause-register bits.
+    fn cause_reg(&self, plane: &FaultPlane) -> u32 {
+        let mut reg = 0u32;
+        for c in Cause::ALL {
+            let mut line = self.pending_eff(c, plane);
+            if let Some((Element::CauseMapLine { cause }, pol)) = plane.query(Unit::Icu, 0) {
+                if cause as usize == c.index() {
+                    line = pol.value();
+                }
+            }
+            if line {
+                reg |= 1 << self.kind.cause_bit(c);
+            }
+        }
+        if let Some((Element::CauseRegBit { bit }, pol)) = plane.query(Unit::Icu, 0) {
+            if bit < self.kind.cause_bits() {
+                reg = pol.force(reg as u64, bit) as u32;
+            }
+        }
+        reg
+    }
+
+    /// Enumerates every stuck-at fault site of this ICU implementation.
+    pub fn fault_sites(kind: CoreKind) -> Vec<FaultSite> {
+        let mut sites = Vec::new();
+        let mut push = |element| {
+            for polarity in Polarity::BOTH {
+                sites.push(FaultSite { unit: Unit::Icu, instance: 0, element, polarity });
+            }
+        };
+        for c in 0..4u8 {
+            push(Element::PendLatchQ { cause: c });
+            push(Element::PendSetLine { cause: c });
+            push(Element::CauseMapLine { cause: c });
+            push(Element::MaskBit { cause: c });
+        }
+        for bit in 0..kind.cause_bits() {
+            push(Element::CauseRegBit { bit });
+        }
+        push(Element::RecognizeLine);
+        for bit in 0..EPC_BITS {
+            push(Element::EpcBit { bit });
+        }
+        for bit in 0..DEPTH_BITS {
+            push(Element::DepthBit { bit });
+        }
+        sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FREE: FaultPlane = FaultPlane::fault_free();
+
+    fn armed(element: Element, polarity: Polarity) -> FaultPlane {
+        FaultPlane::armed(FaultSite { unit: Unit::Icu, instance: 0, element, polarity })
+    }
+
+    #[test]
+    fn raise_then_recognize_after_latency() {
+        let mut icu = Icu::new(CoreKind::A);
+        icu.raise(Cause::Overflow, &FREE);
+        for _ in 0..RECOG_LAT - 1 {
+            assert!(!icu.tick(&FREE));
+        }
+        assert!(icu.tick(&FREE), "recognised after RECOG_LAT ticks");
+        icu.recognize(0x100, 2, &FREE);
+        assert!(icu.in_trap());
+        assert_eq!(icu.read(Csr::Epc, &FREE), Some(0x100));
+        assert_eq!(icu.read(Csr::IcuDepth, &FREE), Some(2));
+        assert!(!icu.tick(&FREE), "no re-recognition inside the handler");
+    }
+
+    #[test]
+    fn cause_register_mapping_differs_by_kind() {
+        for (kind, ovf_bits, unal_bits) in
+            [(CoreKind::A, 0b01, 0b10), (CoreKind::C, 0b0001, 0b0100)]
+        {
+            let mut icu = Icu::new(kind);
+            icu.raise(Cause::Overflow, &FREE);
+            assert_eq!(icu.read(Csr::IcuCause, &FREE), Some(ovf_bits));
+            icu.write(Csr::IcuPending, 0xf);
+            icu.raise(Cause::Unaligned, &FREE);
+            assert_eq!(icu.read(Csr::IcuCause, &FREE), Some(unal_bits));
+        }
+    }
+
+    #[test]
+    fn shared_bits_mask_simultaneous_causes_on_core_a() {
+        let mut a = Icu::new(CoreKind::A);
+        a.raise(Cause::Overflow, &FREE);
+        a.raise(Cause::MulOverflow, &FREE);
+        assert_eq!(a.read(Csr::IcuCause, &FREE), Some(0b01), "one shared bit");
+        let mut c = Icu::new(CoreKind::C);
+        c.raise(Cause::Overflow, &FREE);
+        c.raise(Cause::MulOverflow, &FREE);
+        assert_eq!(c.read(Csr::IcuCause, &FREE), Some(0b0011), "distinct bits");
+    }
+
+    #[test]
+    fn pending_is_write_one_to_clear() {
+        let mut icu = Icu::new(CoreKind::A);
+        icu.raise(Cause::Overflow, &FREE);
+        icu.raise(Cause::Illegal, &FREE);
+        assert_eq!(icu.read(Csr::IcuPending, &FREE), Some(0b1001));
+        icu.write(Csr::IcuPending, 0b0001);
+        assert_eq!(icu.read(Csr::IcuPending, &FREE), Some(0b1000));
+    }
+
+    #[test]
+    fn masked_cause_does_not_start_recognition() {
+        let mut icu = Icu::new(CoreKind::A);
+        icu.write(Csr::IcuMask, 0b1110); // overflow disabled
+        icu.raise(Cause::Overflow, &FREE);
+        for _ in 0..2 * RECOG_LAT {
+            assert!(!icu.tick(&FREE));
+        }
+        assert_eq!(icu.read(Csr::IcuCause, &FREE), Some(0b01), "still visible");
+    }
+
+    #[test]
+    fn mret_restarts_recognition_for_leftover_causes() {
+        let mut icu = Icu::new(CoreKind::A);
+        icu.raise(Cause::Overflow, &FREE);
+        while !icu.tick(&FREE) {}
+        icu.recognize(0, 0, &FREE);
+        icu.raise(Cause::Unaligned, &FREE); // arrives inside the handler
+        icu.write(Csr::IcuPending, 0b0011); // handler clears what it saw
+        icu.mret(&FREE);
+        assert!(!icu.in_trap());
+        while !icu.tick(&FREE) {}
+        icu.recognize(4, 0, &FREE);
+        assert_eq!(icu.read(Csr::IcuCause, &FREE), Some(0b10));
+    }
+
+    #[test]
+    fn pend_set_line_sa0_loses_the_cause() {
+        let plane = armed(Element::PendSetLine { cause: 0 }, Polarity::StuckAt0);
+        let mut icu = Icu::new(CoreKind::A);
+        icu.raise(Cause::Overflow, &plane);
+        assert_eq!(icu.read(Csr::IcuPending, &plane), Some(0));
+        for _ in 0..2 * RECOG_LAT {
+            assert!(!icu.tick(&plane));
+        }
+    }
+
+    #[test]
+    fn pend_latch_sa1_fakes_a_pending_cause() {
+        let plane = armed(Element::PendLatchQ { cause: 2 }, Polarity::StuckAt1);
+        let icu = Icu::new(CoreKind::C);
+        assert_eq!(icu.read(Csr::IcuPending, &plane), Some(0b0100));
+        assert_eq!(icu.read(Csr::IcuCause, &plane), Some(0b0100));
+    }
+
+    #[test]
+    fn recognize_line_sa1_traps_spuriously() {
+        let plane = armed(Element::RecognizeLine, Polarity::StuckAt1);
+        let mut icu = Icu::new(CoreKind::A);
+        assert!(icu.tick(&plane), "trap with nothing pending");
+        icu.recognize(0, 0, &plane);
+        assert!(!icu.tick(&plane), "but not while in the handler");
+    }
+
+    #[test]
+    fn recognize_line_sa0_never_traps() {
+        let plane = armed(Element::RecognizeLine, Polarity::StuckAt0);
+        let mut icu = Icu::new(CoreKind::A);
+        icu.raise(Cause::Overflow, &plane);
+        for _ in 0..2 * RECOG_LAT {
+            assert!(!icu.tick(&plane));
+        }
+    }
+
+    #[test]
+    fn epc_capture_fault_flips_bit() {
+        let plane = armed(Element::EpcBit { bit: 4 }, Polarity::StuckAt1);
+        let mut icu = Icu::new(CoreKind::A);
+        icu.recognize(0x100, 0, &plane);
+        assert_eq!(icu.epc(), 0x110);
+    }
+
+    #[test]
+    fn simultaneous_cause_masking_on_shared_bits() {
+        // The masking mechanism behind the paper's ~10% lower ICU coverage
+        // on cores A/B: with overflow *and* mul-overflow pending, a fault
+        // on the mul-overflow map line is invisible on core A (overflow
+        // drives the shared bit anyway) but visible on core C.
+        let plane = armed(Element::CauseMapLine { cause: 1 }, Polarity::StuckAt0);
+        for (kind, masked) in [(CoreKind::A, true), (CoreKind::C, false)] {
+            let mut icu = Icu::new(kind);
+            icu.raise(Cause::Overflow, &plane);
+            icu.raise(Cause::MulOverflow, &plane);
+            let golden = {
+                let mut g = Icu::new(kind);
+                g.raise(Cause::Overflow, &FREE);
+                g.raise(Cause::MulOverflow, &FREE);
+                g.read(Csr::IcuCause, &FREE)
+            };
+            let faulty = icu.read(Csr::IcuCause, &plane);
+            assert_eq!(faulty == golden, masked, "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn fault_site_counts() {
+        let a = Icu::fault_sites(CoreKind::A).len();
+        let c = Icu::fault_sites(CoreKind::C).len();
+        assert!(c > a, "core C has more cause-register bits");
+        assert_eq!(c - a, 4, "two extra bits, two polarities");
+        // No duplicate sites.
+        let mut sites = Icu::fault_sites(CoreKind::C);
+        let before = sites.len();
+        sites.sort_by_key(|s| format!("{s}"));
+        sites.dedup();
+        assert_eq!(sites.len(), before);
+    }
+}

@@ -1,0 +1,101 @@
+//! Core variants of the modeled SoC.
+
+use sbst_isa::Cause;
+
+/// The three processor cores of the paper's triple-core SoC.
+///
+/// Cores A and B are the same 32-bit architecture but underwent different
+/// physical design processes (their stuck-at fault lists differ); core C
+/// implements an extended instruction set with 64-bit register-pair
+/// operands, a 64-bit forwarding datapath and a fully decoded ICU cause
+/// register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreKind {
+    /// 32-bit core, reference netlist.
+    A,
+    /// 32-bit core, resynthesized netlist (different fault universe).
+    B,
+    /// 64-bit-capable core with extended ISA.
+    C,
+}
+
+impl CoreKind {
+    /// All core kinds in SoC order (core id 0 = A, 1 = B, 2 = C).
+    pub const ALL: [CoreKind; 3] = [CoreKind::A, CoreKind::B, CoreKind::C];
+
+    /// Forwarding datapath width in bits.
+    pub fn datapath_bits(self) -> u8 {
+        match self {
+            CoreKind::A | CoreKind::B => 32,
+            CoreKind::C => 64,
+        }
+    }
+
+    /// Whether the 64-bit register-pair ALU ops are implemented.
+    pub fn has_alu64(self) -> bool {
+        self == CoreKind::C
+    }
+
+    /// Which ICU cause-register bit a cause maps to.
+    ///
+    /// Cores A and B map *pairs* of interrupt events onto shared bits
+    /// (the paper's source of fault masking on those cores); core C
+    /// dedicates one bit per cause.
+    pub fn cause_bit(self, cause: Cause) -> u8 {
+        match self {
+            CoreKind::A | CoreKind::B => (cause.index() / 2) as u8,
+            CoreKind::C => cause.index() as u8,
+        }
+    }
+
+    /// Width of the ICU cause register in bits.
+    pub fn cause_bits(self) -> u8 {
+        match self {
+            CoreKind::A | CoreKind::B => 2,
+            CoreKind::C => 4,
+        }
+    }
+
+    /// Whether the netlist decomposition uses a chained OR plane in the
+    /// forwarding muxes (core B's resynthesis) — adds `MuxOrNode` sites.
+    pub fn has_or_chain_sites(self) -> bool {
+        self == CoreKind::B
+    }
+}
+
+impl std::fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CoreKind::A => "A",
+            CoreKind::B => "B",
+            CoreKind::C => "C",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_mapping_shares_bits_on_a_and_b() {
+        assert_eq!(CoreKind::A.cause_bit(Cause::Overflow), 0);
+        assert_eq!(CoreKind::A.cause_bit(Cause::MulOverflow), 0);
+        assert_eq!(CoreKind::A.cause_bit(Cause::Unaligned), 1);
+        assert_eq!(CoreKind::A.cause_bit(Cause::Illegal), 1);
+        for c in Cause::ALL {
+            assert_eq!(CoreKind::C.cause_bit(c), c.index() as u8);
+            assert_eq!(CoreKind::A.cause_bit(c), CoreKind::B.cause_bit(c));
+        }
+    }
+
+    #[test]
+    fn datapaths() {
+        assert_eq!(CoreKind::A.datapath_bits(), 32);
+        assert_eq!(CoreKind::C.datapath_bits(), 64);
+        assert!(CoreKind::C.has_alu64());
+        assert!(!CoreKind::B.has_alu64());
+        assert!(CoreKind::B.has_or_chain_sites());
+    }
+}

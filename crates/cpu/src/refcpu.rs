@@ -1,0 +1,250 @@
+//! A single-cycle functional reference model.
+//!
+//! Executes the same ISA as the pipelined [`Core`](crate::Core) but with
+//! no timing, no caches and no interrupt imprecision. Used by the test
+//! suite for *differential testing*: any cause-free program must leave
+//! the same architectural state in both models regardless of pipeline
+//! hazards, forwarding and memory latencies.
+
+use std::collections::HashMap;
+
+use sbst_isa::{Cause, Instr, Program, Reg};
+
+use crate::exec::{alu32, alu64, imm_operand};
+use crate::CoreKind;
+
+/// Why the reference model stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefStop {
+    /// A `halt` instruction was executed.
+    Halted,
+    /// The step budget ran out.
+    OutOfFuel,
+    /// An instruction raised a cause (the reference model does not
+    /// emulate imprecise traps).
+    Raised(Cause),
+    /// The PC left every loaded program image.
+    WildPc(u32),
+}
+
+/// The functional reference CPU.
+#[derive(Debug, Clone)]
+pub struct RefCpu {
+    kind: CoreKind,
+    regs: [u32; 32],
+    mem: HashMap<u32, u32>,
+    code: Vec<Program>,
+    pc: u32,
+}
+
+impl RefCpu {
+    /// Creates a reference CPU of the given kind, starting at
+    /// `program.base()`.
+    pub fn new(kind: CoreKind, program: Program) -> RefCpu {
+        let pc = program.base();
+        RefCpu { kind, regs: [0; 32], mem: HashMap::new(), code: vec![program], pc }
+    }
+
+    /// Registers after execution.
+    pub fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    /// One register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Word of data memory (0 if never written).
+    pub fn mem_word(&self, addr: u32) -> u32 {
+        // Reads fall back to program images (constant pools in Flash).
+        self.mem.get(&addr).copied().unwrap_or_else(|| {
+            self.code.iter().find_map(|p| p.word_at(addr)).unwrap_or(0)
+        })
+    }
+
+    /// Pre-sets a word of data memory.
+    pub fn poke(&mut self, addr: u32, value: u32) {
+        self.mem.insert(addr, value);
+    }
+
+    fn write_reg(&mut self, r: Reg, v: u32) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    fn read64(&self, r: Reg) -> u64 {
+        (self.regs[r.index()] as u64) | ((self.regs[r.index() + 1] as u64) << 32)
+    }
+
+    fn write64(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v as u32;
+        }
+        self.regs[r.index() + 1] = (v >> 32) as u32;
+    }
+
+    /// Runs until `halt`, a raised cause, a wild PC or `fuel` executed
+    /// instructions.
+    pub fn run(&mut self, fuel: u64) -> RefStop {
+        for _ in 0..fuel {
+            let word = match self.code.iter().find_map(|p| p.word_at(self.pc)) {
+                Some(w) => w,
+                None => return RefStop::WildPc(self.pc),
+            };
+            let instr = match Instr::decode(word) {
+                Ok(i) => i,
+                Err(_) => return RefStop::Raised(Cause::Illegal),
+            };
+            let mut next = self.pc.wrapping_add(4);
+            match instr {
+                Instr::Nop => {}
+                Instr::Halt => return RefStop::Halted,
+                Instr::Alu { op, rd, rs1, rs2 } => {
+                    let (v, c) = alu32(op, self.reg(rs1), self.reg(rs2));
+                    if let Some(c) = c {
+                        return RefStop::Raised(c);
+                    }
+                    self.write_reg(rd, v);
+                }
+                Instr::AluImm { op, rd, rs1, imm } => {
+                    let (v, c) = alu32(op, self.reg(rs1), imm_operand(op, imm));
+                    if let Some(c) = c {
+                        return RefStop::Raised(c);
+                    }
+                    self.write_reg(rd, v);
+                }
+                Instr::Alu64 { op, rd, rs1, rs2 } => {
+                    let legal = self.kind.has_alu64()
+                        && rd.is_even()
+                        && rs1.is_even()
+                        && rs2.is_even()
+                        && rd.index() < 31;
+                    if !legal {
+                        return RefStop::Raised(Cause::Illegal);
+                    }
+                    let (v, c) = alu64(op, self.read64(rs1), self.read64(rs2));
+                    if let Some(c) = c {
+                        return RefStop::Raised(c);
+                    }
+                    self.write64(rd, v);
+                }
+                Instr::Lui { rd, imm } => self.write_reg(rd, (imm as u32) << 16),
+                Instr::Load { rd, base, off } => {
+                    let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                    if !addr.is_multiple_of(4) {
+                        return RefStop::Raised(Cause::Unaligned);
+                    }
+                    let v = self.mem_word(addr);
+                    self.write_reg(rd, v);
+                }
+                Instr::Store { src, base, off } => {
+                    let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                    if !addr.is_multiple_of(4) {
+                        return RefStop::Raised(Cause::Unaligned);
+                    }
+                    self.mem.insert(addr, self.reg(src));
+                }
+                Instr::Amoswap { rd, base, src } => {
+                    let addr = self.reg(base);
+                    if !addr.is_multiple_of(4) {
+                        return RefStop::Raised(Cause::Unaligned);
+                    }
+                    let old = self.mem_word(addr);
+                    self.mem.insert(addr, self.reg(src));
+                    self.write_reg(rd, old);
+                }
+                Instr::Branch { cond, rs1, rs2, off } => {
+                    if cond.eval(self.reg(rs1), self.reg(rs2)) {
+                        next = self.pc.wrapping_add(off as i32 as u32);
+                    }
+                }
+                Instr::Jal { rd, off } => {
+                    self.write_reg(rd, self.pc.wrapping_add(4));
+                    next = self.pc.wrapping_add(off as u32);
+                }
+                Instr::Jalr { rd, base, off } => {
+                    let target = self.reg(base).wrapping_add(off as i32 as u32) & !3;
+                    self.write_reg(rd, self.pc.wrapping_add(4));
+                    next = target;
+                }
+                // System instructions have no architectural effect in the
+                // reference model (differential tests avoid them).
+                Instr::CsrRead { rd, .. } => self.write_reg(rd, 0),
+                Instr::CsrWrite { .. } | Instr::Cache(_) | Instr::Mret => {}
+            }
+            self.pc = next;
+        }
+        RefStop::OutOfFuel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_isa::Asm;
+
+    #[test]
+    fn runs_a_loop() {
+        let mut a = Asm::new();
+        let (r1, r2) = (Reg::R1, Reg::R2);
+        a.li(r1, 5);
+        a.label("spin");
+        a.addi(r2, r2, 3);
+        a.subi(r1, r1, 1);
+        a.bne(r1, Reg::R0, "spin");
+        a.halt();
+        let mut cpu = RefCpu::new(CoreKind::A, a.assemble(0x100).unwrap());
+        assert_eq!(cpu.run(1000), RefStop::Halted);
+        assert_eq!(cpu.reg(r2), 15);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_swap() {
+        let mut a = Asm::new();
+        a.li(Reg::R1, 0x2000_0000);
+        a.li(Reg::R2, 77);
+        a.sw(Reg::R2, Reg::R1, 8);
+        a.lw(Reg::R3, Reg::R1, 8);
+        a.li(Reg::R4, 5);
+        a.addi(Reg::R5, Reg::R1, 8);
+        a.amoswap(Reg::R6, Reg::R4, Reg::R5);
+        a.halt();
+        let mut cpu = RefCpu::new(CoreKind::A, a.assemble(0).unwrap());
+        assert_eq!(cpu.run(100), RefStop::Halted);
+        assert_eq!(cpu.reg(Reg::R3), 77);
+        assert_eq!(cpu.reg(Reg::R6), 77);
+        assert_eq!(cpu.mem_word(0x2000_0008), 5);
+    }
+
+    #[test]
+    fn alu64_requires_core_c() {
+        let mut a = Asm::new();
+        a.alu64(sbst_isa::AluOp::Add, Reg::R4, Reg::R2, Reg::R6);
+        a.halt();
+        let p = a.assemble(0).unwrap();
+        let mut on_a = RefCpu::new(CoreKind::A, p.clone());
+        assert_eq!(on_a.run(10), RefStop::Raised(Cause::Illegal));
+        let mut on_c = RefCpu::new(CoreKind::C, p);
+        assert_eq!(on_c.run(10), RefStop::Halted);
+    }
+
+    #[test]
+    fn overflow_stops_the_model() {
+        let mut a = Asm::new();
+        a.li(Reg::R1, 0x7fff_ffff);
+        a.addv(Reg::R2, Reg::R1, Reg::R1);
+        a.halt();
+        let mut cpu = RefCpu::new(CoreKind::A, a.assemble(0).unwrap());
+        assert_eq!(cpu.run(10), RefStop::Raised(Cause::Overflow));
+    }
+
+    #[test]
+    fn wild_pc_detected() {
+        let mut a = Asm::new();
+        a.nop(); // runs off the end
+        let mut cpu = RefCpu::new(CoreKind::A, a.assemble(0).unwrap());
+        assert_eq!(cpu.run(10), RefStop::WildPc(4));
+    }
+}

@@ -1,0 +1,246 @@
+//! Failure-injection tests at pipeline level: arm one specific fault,
+//! run a minimal program that exercises exactly that structure, and
+//! assert the *precise* architectural corruption it causes.
+
+use sbst_cpu::{
+    operand_mux_id, split_cmp_id, Core, CoreConfig, CoreKind, SRC_EXMEM_P0, HDCU_CTRL,
+};
+use sbst_fault::{Element, FaultPlane, FaultSite, Polarity, Unit};
+use sbst_isa::{Asm, Csr, Reg};
+use sbst_mem::{Bus, FlashCtl, FlashImage, FlashTiming, Sram};
+
+const BASE: u32 = 0x400;
+
+fn run_with(asm: &Asm, site: Option<FaultSite>, max: u64) -> Core {
+    let mut img = FlashImage::new();
+    img.load(&asm.assemble(BASE).expect("assembles"));
+    let mut bus = Bus::new(
+        FlashCtl::new(img.freeze(), FlashTiming::default()),
+        Sram::default(),
+        2,
+    );
+    let mut core = Core::new(CoreConfig::cached(CoreKind::A, 0, BASE));
+    if let Some(site) = site {
+        core.set_plane(FaultPlane::armed(site));
+    }
+    for _ in 0..max {
+        core.step(&mut bus);
+        bus.step();
+        if core.halted() {
+            return core;
+        }
+    }
+    core
+}
+
+/// Warmed-up dependent pair whose consumer takes the EX/MEM path into
+/// slot-0 operand A; result lands in r6.
+fn forwarded_pair() -> Asm {
+    let mut a = Asm::new();
+    // NOTE: a full `li` (lui+ori) would itself forward r1 through the
+    // mux under test and corrupt r1 permanently; use a single addi from
+    // the unforwardable r0 and pad so the preamble leaves the pipeline.
+    a.addi(Reg::R1, Reg::R0, 0x0f0f);
+    a.nops(6);
+    // Warm-up pass so the measured pair runs from the I$ back to back.
+    a.li(Reg::R21, 2);
+    a.label("pass");
+    a.align(8);
+    a.add(Reg::R5, Reg::R1, Reg::R0); // producer
+    a.nop();
+    a.add(Reg::R6, Reg::R5, Reg::R0); // consumer: EX/MEM.P0 -> slot0 opA
+    a.nop();
+    a.subi(Reg::R21, Reg::R21, 1);
+    a.bne(Reg::R21, Reg::R0, "pass");
+    a.halt();
+    a
+}
+
+fn fwd_site(instance: u16, element: Element, polarity: Polarity) -> FaultSite {
+    FaultSite { unit: Unit::Forwarding, instance, element, polarity }
+}
+
+fn hdcu_site(instance: u16, element: Element, polarity: Polarity) -> FaultSite {
+    FaultSite { unit: Unit::Hdcu, instance, element, polarity }
+}
+
+#[test]
+fn forwarding_data_bit_fault_corrupts_exactly_that_bit() {
+    let a = forwarded_pair();
+    let clean = run_with(&a, None, 100_000);
+    assert_eq!(clean.reg(Reg::R6), 0x0f0f);
+    // SA1 on bit 4 of the EX/MEM.P0 input of mux (slot0, opA).
+    let site = fwd_site(
+        operand_mux_id(0, 0),
+        Element::MuxDataIn { src: SRC_EXMEM_P0 as u8, bit: 4 },
+        Polarity::StuckAt1,
+    );
+    let faulty = run_with(&a, Some(site), 100_000);
+    assert_eq!(faulty.reg(Reg::R6), 0x0f1f, "only bit 4 of the forwarded operand flips");
+    assert_eq!(faulty.reg(Reg::R5), 0x0f0f, "producer value untouched");
+}
+
+#[test]
+fn forwarding_fault_on_the_other_operand_mux_is_invisible_here() {
+    let a = forwarded_pair();
+    // Same fault but on slot-0 operand B: the consumer's rs2 is r0 and
+    // never forwards, so the run is clean.
+    let site = fwd_site(
+        operand_mux_id(0, 1),
+        Element::MuxDataIn { src: SRC_EXMEM_P0 as u8, bit: 4 },
+        Polarity::StuckAt1,
+    );
+    let faulty = run_with(&a, Some(site), 100_000);
+    assert_eq!(faulty.reg(Reg::R6), 0x0f0f, "fault not excited by this program");
+}
+
+#[test]
+fn select_stem_sa0_falls_back_to_the_stale_register_value() {
+    let a = forwarded_pair();
+    let site = fwd_site(
+        operand_mux_id(0, 0),
+        Element::MuxSelStem { src: SRC_EXMEM_P0 as u8 },
+        Polarity::StuckAt0,
+    );
+    let faulty = run_with(&a, Some(site), 100_000);
+    // The AND gates for the forwarding source are dead: with no other
+    // one-hot line active the mux output is all-zero, not the RF value.
+    assert_eq!(faulty.reg(Reg::R6), 0, "dead select source yields zero operand");
+}
+
+#[test]
+fn split_comparator_sa0_reads_the_stale_register_file() {
+    // Intra-packet RAW: r5 written in slot 0, read in slot 1. The split
+    // comparator fault makes both issue together -> slot 1 sees the OLD r5.
+    let mut a = Asm::new();
+    a.li(Reg::R5, 111); // stale value
+    a.li(Reg::R1, 7);
+    a.li(Reg::R21, 2);
+    a.label("pass");
+    a.align(8);
+    a.add(Reg::R5, Reg::R1, Reg::R1); // slot 0: r5 = 14
+    a.add(Reg::R6, Reg::R5, Reg::R0); // slot 1: RAW on slot 0
+    a.subi(Reg::R21, Reg::R21, 1);
+    a.bne(Reg::R21, Reg::R0, "pass");
+    a.halt();
+    let clean = run_with(&a, None, 100_000);
+    assert_eq!(clean.reg(Reg::R6), 14, "split + interpipeline forwarding");
+    let site = hdcu_site(split_cmp_id(0), Element::CmpOut, Polarity::StuckAt0);
+    let faulty = run_with(&a, Some(site), 100_000);
+    assert_eq!(faulty.reg(Reg::R6), 14, "second pass reads committed r5 anyway");
+    // The observable difference is the *missing split stall*:
+    assert!(
+        faulty.counters().haz_stalls < clean.counters().haz_stalls,
+        "missed splits reduce the HDCU stall count: {} vs {}",
+        faulty.counters().haz_stalls,
+        clean.counters().haz_stalls
+    );
+}
+
+#[test]
+fn spurious_split_is_visible_only_through_the_stall_counter() {
+    // Independent packet pair + a forged intra-packet dependency.
+    let mut a = Asm::new();
+    a.li(Reg::R1, 3);
+    a.li(Reg::R21, 2);
+    a.label("pass");
+    a.align(8);
+    a.add(Reg::R5, Reg::R1, Reg::R1);
+    a.add(Reg::R6, Reg::R1, Reg::R1); // independent
+    a.subi(Reg::R21, Reg::R21, 1);
+    a.bne(Reg::R21, Reg::R0, "pass");
+    a.csrr(Reg::R9, Csr::HazStalls);
+    a.halt();
+    let clean = run_with(&a, None, 100_000);
+    let site = hdcu_site(split_cmp_id(0), Element::CmpOut, Polarity::StuckAt1);
+    let faulty = run_with(&a, Some(site), 100_000);
+    assert_eq!(faulty.reg(Reg::R5), clean.reg(Reg::R5));
+    assert_eq!(faulty.reg(Reg::R6), clean.reg(Reg::R6));
+    assert!(
+        faulty.reg(Reg::R9) > clean.reg(Reg::R9),
+        "values identical; only the performance counter betrays the fault \
+         (the paper's central HDCU observation)"
+    );
+}
+
+#[test]
+fn global_stall_sa1_hangs_the_pipeline() {
+    let mut a = Asm::new();
+    a.li(Reg::R8, sbst_mem::SRAM_BASE);
+    a.sw(Reg::R8, Reg::R8, 0);
+    a.lw(Reg::R5, Reg::R8, 0);
+    a.add(Reg::R6, Reg::R5, Reg::R5); // load-use: needs a (real) stall path
+    a.halt();
+    let clean = run_with(&a, None, 100_000);
+    assert!(clean.halted());
+    let site = hdcu_site(HDCU_CTRL, Element::StallLine { line: 4 }, Polarity::StuckAt1);
+    let faulty = run_with(&a, Some(site), 50_000);
+    assert!(!faulty.halted(), "permanent global stall: watchdog territory");
+}
+
+#[test]
+fn wb_mux_upper_half_fault_exists_only_on_core_c() {
+    use sbst_cpu::wb_mux_id;
+    use sbst_isa::AluOp;
+    // A stuck bit in the upper half of the writeback mux corrupts 64-bit
+    // results on core C and is inert on the 32-bit cores.
+    let mut a = Asm::new();
+    a.addi(Reg::R2, Reg::R0, 5);
+    a.addi(Reg::R3, Reg::R0, 0);
+    a.nops(4);
+    a.emit(sbst_isa::Instr::Alu64 { op: AluOp::Add, rd: Reg::R4, rs1: Reg::R2, rs2: Reg::R2 });
+    a.nops(4);
+    a.halt();
+    let site = fwd_site(wb_mux_id(0), Element::MuxOrOut { bit: 36 }, Polarity::StuckAt1);
+    // Core C: bit 36 lands in the high register of the pair (bit 4 of r5).
+    let mut img = FlashImage::new();
+    img.load(&a.assemble(BASE).unwrap());
+    let mut bus = Bus::new(
+        FlashCtl::new(img.freeze(), FlashTiming::default()),
+        Sram::default(),
+        2,
+    );
+    let mut core = Core::new(CoreConfig::cached(CoreKind::C, 0, BASE));
+    core.set_plane(FaultPlane::armed(site));
+    for _ in 0..100_000 {
+        core.step(&mut bus);
+        bus.step();
+        if core.halted() {
+            break;
+        }
+    }
+    assert!(core.halted());
+    assert_eq!(core.reg(Reg::R4), 10, "low half clean");
+    assert_eq!(core.reg(Reg::R5), 1 << 4, "bit 36 = high-word bit 4 forced");
+}
+
+#[test]
+fn icu_cause_register_fault_reaches_the_handler() {
+    use sbst_isa::Csr;
+    let mut a = Asm::new();
+    a.j("main");
+    a.align(16);
+    a.label("handler");
+    a.csrr(Reg::R10, Csr::IcuCause);
+    a.li(Reg::R13, 0xf);
+    a.csrw(Csr::IcuPending, Reg::R13);
+    a.mret();
+    a.label("main");
+    a.li(Reg::R1, BASE + 16);
+    a.csrw(Csr::TrapVec, Reg::R1);
+    a.li(Reg::R2, i32::MAX as u32);
+    a.li(Reg::R3, 1);
+    a.addv(Reg::R4, Reg::R2, Reg::R3);
+    a.nops(40);
+    a.halt();
+    let site = FaultSite {
+        unit: Unit::Icu,
+        instance: 0,
+        element: Element::CauseRegBit { bit: 1 },
+        polarity: Polarity::StuckAt1,
+    };
+    let clean = run_with(&a, None, 200_000);
+    assert_eq!(clean.reg(Reg::R10), 0b01, "overflow maps to bit 0 on core A");
+    let faulty = run_with(&a, Some(site), 200_000);
+    assert_eq!(faulty.reg(Reg::R10), 0b11, "forced cause bit visible to software");
+}

@@ -1,0 +1,204 @@
+//! ICU behaviour at pipeline level: imprecise recognition, EPC capture,
+//! nested causes, handler interplay — driven through a one-core SoC-like
+//! harness (core + bus) without the `sbst-soc` crate.
+
+use sbst_cpu::{Core, CoreConfig, CoreKind, RECOG_LAT};
+use sbst_isa::{Asm, Csr, Reg};
+use sbst_mem::{Bus, FlashCtl, FlashImage, FlashTiming, Sram};
+
+const BASE: u32 = 0x400;
+
+fn run(asm: &Asm, kind: CoreKind, max: u64) -> Core {
+    let mut img = FlashImage::new();
+    img.load(&asm.assemble(BASE).expect("assembles"));
+    let mut bus = Bus::new(
+        FlashCtl::new(img.freeze(), FlashTiming::default()),
+        Sram::default(),
+        2,
+    );
+    let mut core = Core::new(CoreConfig::cached(kind, 0, BASE));
+    for _ in 0..max {
+        core.step(&mut bus);
+        bus.step();
+        if core.halted() {
+            return core;
+        }
+    }
+    panic!("core did not halt");
+}
+
+/// Standard preamble: install a handler that records cause/depth/EPC in
+/// r10/r11/r12, counts traps in r14, clears pending and returns.
+fn with_handler(body: impl FnOnce(&mut Asm)) -> Asm {
+    let mut a = Asm::new();
+    a.j("main");
+    a.align(16);
+    a.label("handler");
+    a.csrr(Reg::R10, Csr::IcuCause);
+    a.csrr(Reg::R11, Csr::IcuDepth);
+    a.csrr(Reg::R12, Csr::Epc);
+    a.li(Reg::R13, 0xf);
+    a.csrw(Csr::IcuPending, Reg::R13);
+    a.addi(Reg::R14, Reg::R14, 1);
+    a.mret();
+    a.label("main");
+    a.li(Reg::R1, BASE + 16);
+    a.csrw(Csr::TrapVec, Reg::R1);
+    body(&mut a);
+    for _ in 0..3 * RECOG_LAT {
+        a.nop();
+    }
+    a.halt();
+    a
+}
+
+#[test]
+fn trap_returns_to_the_next_unissued_instruction() {
+    let a = with_handler(|a| {
+        a.li(Reg::R2, i32::MAX as u32);
+        a.li(Reg::R3, 1);
+        a.addv(Reg::R4, Reg::R2, Reg::R3);
+        // Post-trigger work that must ALL retire exactly once despite the
+        // trap landing somewhere inside it.
+        for _ in 0..30 {
+            a.addi(Reg::R20, Reg::R20, 1);
+        }
+    });
+    let core = run(&a, CoreKind::A, 100_000);
+    assert_eq!(core.reg(Reg::R14), 1, "one trap");
+    assert_eq!(core.reg(Reg::R20), 30, "no instruction lost or replayed");
+    assert_eq!(core.reg(Reg::R4), i32::MIN as u32);
+    let epc = core.reg(Reg::R12);
+    assert!(epc > BASE && epc < BASE + 0x400, "sane EPC {epc:#x}");
+}
+
+#[test]
+fn imprecision_depth_counts_younger_retirements() {
+    let a = with_handler(|a| {
+        a.li(Reg::R2, i32::MAX as u32);
+        a.li(Reg::R3, 1);
+        a.addv(Reg::R4, Reg::R2, Reg::R3);
+        for _ in 0..40 {
+            a.nop();
+        }
+    });
+    let core = run(&a, CoreKind::A, 100_000);
+    let depth = core.reg(Reg::R11);
+    assert!(depth > 0, "warm dual-issue must slip instructions past the addv");
+    assert!(depth <= 2 * RECOG_LAT as u32 + 2, "bounded by the window, got {depth}");
+}
+
+#[test]
+fn back_to_back_traps_are_serialised() {
+    let a = with_handler(|a| {
+        a.li(Reg::R2, i32::MAX as u32);
+        a.li(Reg::R3, 1);
+        for _ in 0..3 {
+            a.addv(Reg::R4, Reg::R2, Reg::R3);
+            for _ in 0..3 * RECOG_LAT {
+                a.nop();
+            }
+        }
+    });
+    let core = run(&a, CoreKind::A, 200_000);
+    assert_eq!(core.reg(Reg::R14), 3, "each trigger produces exactly one trap");
+}
+
+#[test]
+fn cause_raised_inside_the_window_joins_the_same_trap() {
+    let a = with_handler(|a| {
+        a.li(Reg::R2, i32::MAX as u32);
+        a.li(Reg::R3, 1);
+        a.align(8);
+        a.addv(Reg::R4, Reg::R2, Reg::R3); // overflow
+        a.mulv(Reg::R5, Reg::R2, Reg::R2); // mul-overflow, same packet
+        for _ in 0..3 * RECOG_LAT {
+            a.nop();
+        }
+    });
+    // Core A: both causes share cause-register bit 0.
+    let core_a = run(&a, CoreKind::A, 100_000);
+    assert_eq!(core_a.reg(Reg::R14), 1, "one combined trap");
+    assert_eq!(core_a.reg(Reg::R10), 0b01);
+    // Core C: distinct bits.
+    let core_c = run(&a, CoreKind::C, 100_000);
+    assert_eq!(core_c.reg(Reg::R14), 1);
+    assert_eq!(core_c.reg(Reg::R10), 0b11);
+}
+
+#[test]
+fn masked_cause_never_traps_but_stays_visible() {
+    let a = with_handler(|a| {
+        a.li(Reg::R5, 0b1110); // disable Overflow
+        a.csrw(Csr::IcuMask, Reg::R5);
+        a.li(Reg::R2, i32::MAX as u32);
+        a.li(Reg::R3, 1);
+        a.addv(Reg::R4, Reg::R2, Reg::R3);
+        for _ in 0..3 * RECOG_LAT {
+            a.nop();
+        }
+        a.csrr(Reg::R15, Csr::IcuPending);
+    });
+    let core = run(&a, CoreKind::A, 100_000);
+    assert_eq!(core.reg(Reg::R14), 0, "masked cause must not trap");
+    assert_eq!(core.reg(Reg::R15) & 1, 1, "but stays pending");
+}
+
+#[test]
+fn unaligned_store_is_imprecise_and_skips_the_write() {
+    let a = with_handler(|a| {
+        a.li(Reg::R8, sbst_mem::SRAM_BASE + 0x100);
+        a.li(Reg::R2, 0xdead_beef);
+        a.sw(Reg::R2, Reg::R8, 0); // aligned: lands
+        a.sw(Reg::R2, Reg::R8, 6); // unaligned: trap, squashed
+        for _ in 0..3 * RECOG_LAT {
+            a.nop();
+        }
+    });
+    let mut img = FlashImage::new();
+    img.load(&a.assemble(BASE).unwrap());
+    let mut bus = Bus::new(
+        FlashCtl::new(img.freeze(), FlashTiming::default()),
+        Sram::default(),
+        2,
+    );
+    let mut core = Core::new(CoreConfig::cached(CoreKind::A, 0, BASE));
+    for _ in 0..100_000 {
+        core.step(&mut bus);
+        bus.step();
+        if core.halted() {
+            break;
+        }
+    }
+    assert!(core.halted());
+    assert_eq!(core.reg(Reg::R14), 1, "unaligned store trapped");
+    assert_eq!(bus.sram().peek(sbst_mem::SRAM_BASE + 0x100), 0xdead_beef);
+    assert_eq!(bus.sram().peek(sbst_mem::SRAM_BASE + 0x104), 0, "squashed");
+}
+
+#[test]
+fn fatal_without_handler() {
+    let mut a = Asm::new();
+    a.li(Reg::R2, i32::MAX as u32);
+    a.addv(Reg::R3, Reg::R2, Reg::R2);
+    for _ in 0..3 * RECOG_LAT {
+        a.nop();
+    }
+    a.halt();
+    let mut img = FlashImage::new();
+    img.load(&a.assemble(BASE).unwrap());
+    let mut bus = Bus::new(
+        FlashCtl::new(img.freeze(), FlashTiming::default()),
+        Sram::default(),
+        2,
+    );
+    let mut core = Core::new(CoreConfig::cached(CoreKind::A, 0, BASE));
+    for _ in 0..100_000 {
+        core.step(&mut bus);
+        bus.step();
+        if core.halted() {
+            break;
+        }
+    }
+    assert!(core.fatal_trap(), "no TrapVec installed: recognition is fatal");
+}

@@ -1,0 +1,91 @@
+//! Robustness: arming *any* fault site — including sites that reference
+//! nonexistent instances or out-of-range bits — must never panic the
+//! simulator. In-field, silicon doesn't crash the fault simulator; the
+//! run either detects the fault or it doesn't.
+
+use proptest::prelude::*;
+use sbst_cpu::{Core, CoreConfig, CoreKind};
+use sbst_fault::{Element, FaultPlane, FaultSite, Polarity, Unit};
+use sbst_isa::{Asm, Reg};
+use sbst_mem::{Bus, FlashCtl, FlashImage, FlashTiming, Sram, SRAM_BASE};
+
+fn arb_element() -> impl Strategy<Value = Element> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(src, bit)| Element::MuxDataIn { src, bit }),
+        any::<u8>().prop_map(|src| Element::MuxSelStem { src }),
+        (any::<u8>(), any::<u8>()).prop_map(|(src, bit)| Element::MuxSelBranch { src, bit }),
+        (any::<u8>(), any::<u8>()).prop_map(|(src, bit)| Element::MuxAndOut { src, bit }),
+        any::<u8>().prop_map(|bit| Element::MuxOrOut { bit }),
+        (any::<u8>(), any::<u8>()).prop_map(|(node, bit)| Element::MuxOrNode { node, bit }),
+        any::<u8>().prop_map(|bit| Element::CmpXnorOut { bit }),
+        any::<u8>().prop_map(|node| Element::CmpChainNode { node }),
+        Just(Element::CmpValidIn),
+        Just(Element::CmpOut),
+        any::<u8>().prop_map(|line| Element::StallLine { line }),
+        (any::<u8>(), any::<u8>()).prop_map(|(mux, bit)| Element::SelEncLine { mux, bit }),
+        any::<u8>().prop_map(|cause| Element::PendLatchQ { cause }),
+        any::<u8>().prop_map(|cause| Element::PendSetLine { cause }),
+        any::<u8>().prop_map(|cause| Element::CauseMapLine { cause }),
+        any::<u8>().prop_map(|bit| Element::CauseRegBit { bit }),
+        any::<u8>().prop_map(|cause| Element::MaskBit { cause }),
+        Just(Element::RecognizeLine),
+        any::<u8>().prop_map(|bit| Element::EpcBit { bit }),
+        any::<u8>().prop_map(|bit| Element::DepthBit { bit }),
+        (any::<u8>(), any::<u8>()).prop_map(|(src, bit)| Element::MuxPathDelay { src, bit }),
+    ]
+}
+
+fn arb_site() -> impl Strategy<Value = FaultSite> {
+    (
+        prop::sample::select(Unit::ALL.to_vec()),
+        any::<u16>(),
+        arb_element(),
+        prop::sample::select(Polarity::BOTH.to_vec()),
+    )
+        .prop_map(|(unit, instance, element, polarity)| FaultSite {
+            unit,
+            instance,
+            element,
+            polarity,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_armed_faults_never_panic_the_simulator(
+        site in arb_site(),
+        kind in prop::sample::select(CoreKind::ALL.to_vec()),
+    ) {
+        let mut a = Asm::new();
+        a.li(Reg::R8, SRAM_BASE);
+        a.li(Reg::R1, 0x7fff_ffff);
+        a.addv(Reg::R2, Reg::R1, Reg::R1); // exercise the ICU too
+        a.sw(Reg::R1, Reg::R8, 0);
+        a.lw(Reg::R3, Reg::R8, 0);
+        a.add(Reg::R4, Reg::R3, Reg::R3);
+        for _ in 0..40 {
+            a.nop();
+        }
+        a.halt();
+        let mut img = FlashImage::new();
+        img.load(&a.assemble(0x400).expect("assembles"));
+        let mut bus = Bus::new(
+            FlashCtl::new(img.freeze(), FlashTiming::default()),
+            Sram::default(),
+            2,
+        );
+        let mut core = Core::new(CoreConfig::cached(kind, 0, 0x400));
+        core.set_plane(FaultPlane::armed(site));
+        // Bounded run: hang (e.g. a stuck stall line) is a fine outcome,
+        // a panic is not.
+        for _ in 0..30_000 {
+            core.step(&mut bus);
+            bus.step();
+            if core.halted() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Structural fault-equivalence collapsing.
+//!
+//! Commercial fault simulators never grade every enumerated stuck-at:
+//! faults that provably produce identical behaviour on every input are
+//! *collapsed* into one representative. For the gate networks of this
+//! model the classical dominance/equivalence rules are:
+//!
+//! * **AND gate**: stuck-at-0 on any input ≡ stuck-at-0 on the output.
+//!   In the mux decomposition, `MuxDataIn{s,b}/SA0`,
+//!   `MuxSelBranch{s,b}/SA0` and `MuxAndOut{s,b}/SA0` are one class.
+//! * **OR plane (flat)**: stuck-at-1 on any input ≡ stuck-at-1 on the
+//!   output: `MuxAndOut{s,b}/SA1` ≡ `MuxOrOut{b}/SA1` for every `s`.
+//! * **AND chain (comparator)**: stuck-at-0 anywhere on the chain ≡
+//!   stuck-at-0 at the output: `CmpValidIn/SA0`, `CmpXnorOut{b}/SA0`,
+//!   every `CmpChainNode{n}/SA0` and `CmpOut/SA0` are one class.
+//!
+//! Collapsing never changes fault *coverage*: a class is detected iff
+//! its representative is (verified by campaign-level tests in
+//! `sbst-campaign`). Classes and totals are both reported, so coverage
+//! can still be quoted against the uncollapsed universe.
+
+use std::collections::HashMap;
+
+use crate::{Element, FaultList, FaultSite, Polarity};
+
+/// The result of collapsing a fault list.
+#[derive(Debug, Clone)]
+pub struct CollapsedList {
+    /// One representative per equivalence class, in first-seen order.
+    representatives: FaultList,
+    /// Class size per representative (same order).
+    class_sizes: Vec<usize>,
+}
+
+impl CollapsedList {
+    /// The representatives to actually simulate.
+    pub fn representatives(&self) -> &FaultList {
+        &self.representatives
+    }
+
+    /// Number of equivalence classes.
+    pub fn classes(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Total faults across all classes (the uncollapsed count).
+    pub fn total_faults(&self) -> usize {
+        self.class_sizes.iter().sum()
+    }
+
+    /// Size of the class represented by representative `i`.
+    pub fn class_size(&self, i: usize) -> usize {
+        self.class_sizes[i]
+    }
+
+    /// Expands per-representative detections into uncollapsed coverage:
+    /// `detected[i]` refers to representative `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detected.len()` differs from the class count.
+    pub fn expand_coverage(&self, detected: &[bool]) -> (usize, usize) {
+        assert_eq!(detected.len(), self.classes());
+        let hit: usize = detected
+            .iter()
+            .zip(&self.class_sizes)
+            .filter(|&(&d, _)| d)
+            .map(|(_, &n)| n)
+            .sum();
+        (hit, self.total_faults())
+    }
+}
+
+/// Equivalence-class key of a fault site.
+///
+/// Faults mapping to the same key are behaviourally identical; sites
+/// with no rule collapse to themselves (singleton classes).
+fn class_key(site: &FaultSite) -> FaultSite {
+    let canon = |element: Element| FaultSite { element, ..*site };
+    match (site.element, site.polarity) {
+        // AND-gate SA0 equivalence inside one mux source/bit.
+        (Element::MuxDataIn { src, bit }, Polarity::StuckAt0)
+        | (Element::MuxSelBranch { src, bit }, Polarity::StuckAt0) => {
+            canon(Element::MuxAndOut { src, bit })
+        }
+        // Flat OR plane SA1 equivalence: every AND output feeding bit `b`
+        // collapses onto the OR output. (The OR-chain nodes of core B's
+        // resynthesis are NOT equivalent: a node fault masks only the
+        // sources accumulated so far — they stay singletons.)
+        (Element::MuxAndOut { bit, .. }, Polarity::StuckAt1) => {
+            canon(Element::MuxOrOut { bit })
+        }
+        // Comparator AND-chain SA0 equivalence.
+        (Element::CmpValidIn, Polarity::StuckAt0)
+        | (Element::CmpXnorOut { .. }, Polarity::StuckAt0)
+        | (Element::CmpChainNode { .. }, Polarity::StuckAt0) => canon(Element::CmpOut),
+        _ => *site,
+    }
+}
+
+/// Collapses `list` into equivalence classes.
+pub fn collapse(list: &FaultList) -> CollapsedList {
+    let mut index: HashMap<FaultSite, usize> = HashMap::new();
+    let mut representatives = FaultList::new();
+    let mut class_sizes = Vec::new();
+    for &site in list {
+        let key = class_key(&site);
+        match index.get(&key) {
+            Some(&i) => class_sizes[i] += 1,
+            None => {
+                index.insert(key, class_sizes.len());
+                // The representative is the *canonical* site (so the
+                // simulated fault is the class's common behaviour).
+                representatives.push(key);
+                class_sizes.push(1);
+            }
+        }
+    }
+    CollapsedList { representatives, class_sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gates, Unit};
+
+    fn site(element: Element, polarity: Polarity) -> FaultSite {
+        FaultSite { unit: Unit::Forwarding, instance: 0, element, polarity }
+    }
+
+    #[test]
+    fn and_sa0_classes_merge() {
+        let list = FaultList::from_sites(vec![
+            site(Element::MuxDataIn { src: 1, bit: 3 }, Polarity::StuckAt0),
+            site(Element::MuxSelBranch { src: 1, bit: 3 }, Polarity::StuckAt0),
+            site(Element::MuxAndOut { src: 1, bit: 3 }, Polarity::StuckAt0),
+            // Different bit: separate class.
+            site(Element::MuxDataIn { src: 1, bit: 4 }, Polarity::StuckAt0),
+        ]);
+        let c = collapse(&list);
+        assert_eq!(c.classes(), 2);
+        assert_eq!(c.total_faults(), 4);
+        assert_eq!(c.class_size(0), 3);
+    }
+
+    #[test]
+    fn or_sa1_classes_merge_across_sources() {
+        let list = FaultList::from_sites(vec![
+            site(Element::MuxAndOut { src: 0, bit: 7 }, Polarity::StuckAt1),
+            site(Element::MuxAndOut { src: 4, bit: 7 }, Polarity::StuckAt1),
+            site(Element::MuxOrOut { bit: 7 }, Polarity::StuckAt1),
+        ]);
+        let c = collapse(&list);
+        assert_eq!(c.classes(), 1);
+        assert_eq!(c.class_size(0), 3);
+    }
+
+    #[test]
+    fn polarity_matters() {
+        let list = FaultList::from_sites(vec![
+            site(Element::MuxDataIn { src: 0, bit: 0 }, Polarity::StuckAt0),
+            site(Element::MuxDataIn { src: 0, bit: 0 }, Polarity::StuckAt1),
+        ]);
+        assert_eq!(collapse(&list).classes(), 2, "SA1 data faults are not AND-output faults");
+    }
+
+    #[test]
+    fn expand_coverage_scales_by_class_size() {
+        let list = FaultList::from_sites(vec![
+            site(Element::MuxDataIn { src: 1, bit: 3 }, Polarity::StuckAt0),
+            site(Element::MuxAndOut { src: 1, bit: 3 }, Polarity::StuckAt0),
+            site(Element::MuxOrOut { bit: 9 }, Polarity::StuckAt0),
+        ]);
+        let c = collapse(&list);
+        assert_eq!(c.classes(), 2);
+        let (hit, total) = c.expand_coverage(&[true, false]);
+        assert_eq!((hit, total), (2, 3));
+    }
+
+    /// The semantic ground truth behind the rules: for every collapsed
+    /// pair, the faulty mux evaluates identically on exhaustive small
+    /// inputs.
+    #[test]
+    fn collapsed_mux_faults_are_behaviourally_identical() {
+        let pairs = [
+            (
+                site(Element::MuxDataIn { src: 1, bit: 2 }, Polarity::StuckAt0),
+                site(Element::MuxAndOut { src: 1, bit: 2 }, Polarity::StuckAt0),
+            ),
+            (
+                site(Element::MuxSelBranch { src: 3, bit: 1 }, Polarity::StuckAt0),
+                site(Element::MuxAndOut { src: 3, bit: 1 }, Polarity::StuckAt0),
+            ),
+            (
+                site(Element::MuxAndOut { src: 2, bit: 0 }, Polarity::StuckAt1),
+                site(Element::MuxOrOut { bit: 0 }, Polarity::StuckAt1),
+            ),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(class_key(&a), class_key(&b), "{a} vs {b}");
+            for sel in 0..5 {
+                for pattern in 0..32u64 {
+                    let inputs = [
+                        pattern,
+                        pattern.rotate_left(1),
+                        !pattern,
+                        0x15,
+                        pattern ^ 0x0a,
+                    ];
+                    let fa = gates::mux_out(&inputs, sel, 6, Some((a.element, a.polarity)));
+                    let fb = gates::mux_out(&inputs, sel, 6, Some((b.element, b.polarity)));
+                    assert_eq!(fa, fb, "{a} != {b} at sel={sel} pattern={pattern:#x}");
+                }
+            }
+        }
+    }
+
+    /// Comparator-chain SA0 equivalence, checked against the evaluator.
+    #[test]
+    fn collapsed_cmp_faults_are_behaviourally_identical() {
+        let variants = [
+            site(Element::CmpValidIn, Polarity::StuckAt0),
+            site(Element::CmpXnorOut { bit: 2 }, Polarity::StuckAt0),
+            site(Element::CmpChainNode { node: 4 }, Polarity::StuckAt0),
+            site(Element::CmpOut, Polarity::StuckAt0),
+        ];
+        for v in &variants {
+            assert_eq!(class_key(v), site(Element::CmpOut, Polarity::StuckAt0));
+        }
+        for a in 0..32u32 {
+            for b in 0..32u32 {
+                for valid in [false, true] {
+                    let outs: Vec<bool> = variants
+                        .iter()
+                        .map(|v| gates::cmp_eq(a, b, 5, valid, Some((v.element, v.polarity))))
+                        .collect();
+                    assert!(outs.windows(2).all(|w| w[0] == w[1]), "a={a} b={b}");
+                }
+            }
+        }
+    }
+}

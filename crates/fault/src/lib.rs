@@ -1,0 +1,56 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # sbst-fault — structural stuck-at fault model
+//!
+//! The paper grades its self-test routines against *stuck-at* faults on
+//! the post-layout netlist of three CPU units: the forwarding logic, the
+//! Hazard Detection Control Unit (HDCU) and the Interrupt Control Unit
+//! (ICU). We do not have the proprietary netlist, so this crate defines a
+//! pin-accurate **gate decomposition** of those same units and enumerates
+//! stuck-at fault sites on every pin:
+//!
+//! * [`FaultSite`] — one injectable fault: unit + instance + gate-pin
+//!   [`Element`] + [`Polarity`];
+//! * [`FaultPlane`] — at most one *armed* fault per simulation run, with
+//!   constant-time "does this fault live in my unit instance?" queries
+//!   from the CPU model's hot loop;
+//! * [`gates`] — fault-aware evaluators for the two combinational
+//!   primitives the units are built from (one-hot AND–OR multiplexer,
+//!   AND-chain equality comparator). The faulty value is computed
+//!   *analytically*, so simulation speed is independent of netlist size;
+//! * [`FaultList`] and [`Verdict`] — campaign bookkeeping.
+//!
+//! The enumeration of concrete sites for a given core lives in
+//! `sbst-cpu` (which knows the structures); this crate only defines the
+//! vocabulary and the faulty-evaluation semantics.
+//!
+//! ## Example
+//!
+//! ```
+//! use sbst_fault::{gates, Element, FaultPlane, FaultSite, Polarity, Unit};
+//!
+//! let site = FaultSite {
+//!     unit: Unit::Forwarding,
+//!     instance: 0,
+//!     element: Element::MuxSelStem { src: 2 },
+//!     polarity: Polarity::StuckAt1,
+//! };
+//! let plane = FaultPlane::armed(site);
+//! // The faulty select stem forces source 2 on in mux instance 0:
+//! let inputs = [0x0, 0x0, 0xff, 0x0, 0x0];
+//! let out = gates::mux_out(&inputs, 0, 8, plane.query(Unit::Forwarding, 0));
+//! assert_eq!(out, 0xff); // source 0 selected, but source 2 leaks in
+//! ```
+
+pub mod gates;
+
+mod collapse;
+mod list;
+mod plane;
+mod site;
+
+pub use collapse::{collapse, CollapsedList};
+pub use list::{FaultList, Verdict};
+pub use plane::FaultPlane;
+pub use site::{Element, FaultSite, Polarity, Unit};

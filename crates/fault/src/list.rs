@@ -1,0 +1,173 @@
+//! Fault lists and simulation verdicts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FaultSite, Unit};
+
+/// Outcome of simulating one fault against one test program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Final signature differed from the golden one.
+    WrongSignature,
+    /// The routine's own pass/fail check took its FAIL path.
+    TestFail,
+    /// The core trapped to the failure handler unexpectedly.
+    UnexpectedTrap,
+    /// The core did not halt within the watchdog budget — in field the
+    /// watchdog converts this into a detection.
+    Hang,
+    /// The fault produced no observable difference.
+    Undetected,
+}
+
+impl Verdict {
+    /// Whether this verdict counts as a detection for fault coverage.
+    pub fn is_detected(self) -> bool {
+        !matches!(self, Verdict::Undetected)
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Verdict::WrongSignature => "wrong-signature",
+            Verdict::TestFail => "test-fail",
+            Verdict::UnexpectedTrap => "unexpected-trap",
+            Verdict::Hang => "hang",
+            Verdict::Undetected => "undetected",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An ordered collection of fault sites for one unit of one core.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultList {
+    sites: Vec<FaultSite>,
+}
+
+impl FaultList {
+    /// Creates an empty list.
+    pub fn new() -> FaultList {
+        FaultList::default()
+    }
+
+    /// Creates a list from sites.
+    pub fn from_sites(sites: Vec<FaultSite>) -> FaultList {
+        FaultList { sites }
+    }
+
+    /// Appends a site.
+    pub fn push(&mut self, site: FaultSite) {
+        self.sites.push(site);
+    }
+
+    /// The sites.
+    pub fn sites(&self) -> &[FaultSite] {
+        &self.sites
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Iterates over the sites.
+    pub fn iter(&self) -> std::slice::Iter<'_, FaultSite> {
+        self.sites.iter()
+    }
+
+    /// Keeps only sites belonging to `unit`.
+    pub fn restrict_to(&self, unit: Unit) -> FaultList {
+        FaultList {
+            sites: self.sites.iter().copied().filter(|s| s.unit == unit).collect(),
+        }
+    }
+
+    /// Deterministically samples every `stride`-th fault (for quick test
+    /// runs); `stride == 1` returns the full list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn sample(&self, stride: usize) -> FaultList {
+        assert!(stride > 0, "stride must be positive");
+        FaultList {
+            sites: self.sites.iter().copied().step_by(stride).collect(),
+        }
+    }
+}
+
+impl FromIterator<FaultSite> for FaultList {
+    fn from_iter<I: IntoIterator<Item = FaultSite>>(iter: I) -> FaultList {
+        FaultList { sites: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<FaultSite> for FaultList {
+    fn extend<I: IntoIterator<Item = FaultSite>>(&mut self, iter: I) {
+        self.sites.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a FaultList {
+    type Item = &'a FaultSite;
+    type IntoIter = std::slice::Iter<'a, FaultSite>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.sites.iter()
+    }
+}
+
+impl IntoIterator for FaultList {
+    type Item = FaultSite;
+    type IntoIter = std::vec::IntoIter<FaultSite>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.sites.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Element, Polarity};
+
+    fn site(unit: Unit, instance: u16) -> FaultSite {
+        FaultSite {
+            unit,
+            instance,
+            element: Element::CmpOut,
+            polarity: Polarity::StuckAt0,
+        }
+    }
+
+    #[test]
+    fn restrict_and_sample() {
+        let list: FaultList = (0..10)
+            .map(|i| site(if i % 2 == 0 { Unit::Hdcu } else { Unit::Icu }, i))
+            .collect();
+        assert_eq!(list.len(), 10);
+        assert_eq!(list.restrict_to(Unit::Hdcu).len(), 5);
+        assert_eq!(list.sample(3).len(), 4);
+        assert_eq!(list.sample(1).len(), 10);
+    }
+
+    #[test]
+    fn verdict_detection() {
+        assert!(Verdict::WrongSignature.is_detected());
+        assert!(Verdict::Hang.is_detected());
+        assert!(!Verdict::Undetected.is_detected());
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_panics() {
+        let _ = FaultList::new().sample(0);
+    }
+}

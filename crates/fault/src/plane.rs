@@ -1,0 +1,91 @@
+//! The armed-fault plane.
+
+use crate::{Element, FaultSite, Polarity, Unit};
+
+/// A fault-injection plane holding at most one *armed* fault.
+///
+/// Every structural unit of the CPU model asks the plane, each time it
+/// evaluates, whether the armed fault lives inside it. The query is two
+/// integer comparisons, so a fault-free run pays essentially nothing and
+/// a faulty run only perturbs the single owning unit — this is what makes
+/// simulating tens of thousands of faults tractable without a gate-level
+/// netlist simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlane {
+    armed: Option<FaultSite>,
+}
+
+impl FaultPlane {
+    /// A plane with no fault (golden simulation).
+    pub const fn fault_free() -> FaultPlane {
+        FaultPlane { armed: None }
+    }
+
+    /// A plane with `site` armed.
+    pub fn armed(site: FaultSite) -> FaultPlane {
+        FaultPlane { armed: Some(site) }
+    }
+
+    /// The armed fault, if any.
+    pub fn site(&self) -> Option<FaultSite> {
+        self.armed
+    }
+
+    /// Whether any fault is armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed.is_some()
+    }
+
+    /// The armed fault's element and polarity, if it lives in
+    /// `unit`/`instance`.
+    #[inline]
+    pub fn query(&self, unit: Unit, instance: u16) -> Option<(Element, Polarity)> {
+        match self.armed {
+            Some(s) if s.unit == unit && s.instance == instance => {
+                Some((s.element, s.polarity))
+            }
+            _ => None,
+        }
+    }
+
+    /// Like [`query`](FaultPlane::query) but only matching the unit
+    /// (for units with a single instance or instance-agnostic checks).
+    #[inline]
+    pub fn query_unit(&self, unit: Unit) -> Option<FaultSite> {
+        match self.armed {
+            Some(s) if s.unit == unit => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> FaultSite {
+        FaultSite {
+            unit: Unit::Hdcu,
+            instance: 3,
+            element: Element::CmpOut,
+            polarity: Polarity::StuckAt1,
+        }
+    }
+
+    #[test]
+    fn fault_free_answers_nothing() {
+        let p = FaultPlane::fault_free();
+        assert!(!p.is_armed());
+        assert_eq!(p.query(Unit::Hdcu, 3), None);
+        assert_eq!(p.query_unit(Unit::Icu), None);
+    }
+
+    #[test]
+    fn armed_matches_only_its_unit_and_instance() {
+        let p = FaultPlane::armed(site());
+        assert_eq!(p.query(Unit::Hdcu, 3), Some((Element::CmpOut, Polarity::StuckAt1)));
+        assert_eq!(p.query(Unit::Hdcu, 2), None);
+        assert_eq!(p.query(Unit::Forwarding, 3), None);
+        assert_eq!(p.query_unit(Unit::Hdcu), Some(site()));
+    }
+}

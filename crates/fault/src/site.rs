@@ -1,0 +1,185 @@
+//! Fault-site vocabulary.
+
+use serde::{Deserialize, Serialize};
+
+/// Stuck-at polarity of a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// The faulty line permanently reads logic 0.
+    StuckAt0,
+    /// The faulty line permanently reads logic 1.
+    StuckAt1,
+}
+
+impl Polarity {
+    /// Both polarities.
+    pub const BOTH: [Polarity; 2] = [Polarity::StuckAt0, Polarity::StuckAt1];
+
+    /// Forces bit `bit` of `word` to the stuck value.
+    pub fn force(self, word: u64, bit: u8) -> u64 {
+        match self {
+            Polarity::StuckAt0 => word & !(1 << bit),
+            Polarity::StuckAt1 => word | (1 << bit),
+        }
+    }
+
+    /// The stuck logic value as a bool.
+    pub fn value(self) -> bool {
+        self == Polarity::StuckAt1
+    }
+}
+
+/// The CPU unit a fault site belongs to — the three units the paper's
+/// experiments target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// Forwarding logic: the operand-bypass and result-collect muxes.
+    Forwarding,
+    /// Hazard Detection Control Unit: dependency comparators, stall and
+    /// forwarding-select generation.
+    Hdcu,
+    /// Interrupt Control Unit: pending latches, cause mapping/encoding,
+    /// recognition logic, EPC/depth capture.
+    Icu,
+}
+
+impl Unit {
+    /// All units.
+    pub const ALL: [Unit; 3] = [Unit::Forwarding, Unit::Hdcu, Unit::Icu];
+}
+
+impl std::fmt::Display for Unit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Unit::Forwarding => "forwarding",
+            Unit::Hdcu => "hdcu",
+            Unit::Icu => "icu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A gate pin within a unit's decomposition.
+///
+/// Mux elements describe the canonical one-hot AND–OR multiplexer used by
+/// the forwarding network (see [`gates::mux_out`](crate::gates::mux_out)):
+/// per output bit, one 2-input AND per source (data pin + select-branch
+/// pin) feeding an N-input OR. Comparator elements describe the
+/// XNOR-plus-AND-chain equality comparator of the HDCU (see
+/// [`gates::cmp_eq`](crate::gates::cmp_eq)). The remaining elements are
+/// control lines and latch pins referenced directly by the HDCU/ICU
+/// models in `sbst-cpu`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // field meanings documented on each variant
+pub enum Element {
+    // ---- one-hot AND–OR multiplexer --------------------------------
+    /// Data input pin of the AND gate for source `src`, output bit `bit`.
+    MuxDataIn { src: u8, bit: u8 },
+    /// Stem of the one-hot select line for source `src` (fans out to all
+    /// bit AND gates).
+    MuxSelStem { src: u8 },
+    /// One fanout branch of the select line: source `src`, bit `bit`.
+    MuxSelBranch { src: u8, bit: u8 },
+    /// Output of the AND gate for source `src`, bit `bit`.
+    MuxAndOut { src: u8, bit: u8 },
+    /// Output of the final OR for bit `bit` (the mux output pin).
+    MuxOrOut { bit: u8 },
+    /// Internal node of the OR plane when it is synthesized as a chain of
+    /// 2-input ORs (core B's resynthesized netlist): the accumulator
+    /// output after source `node` has been OR-ed in, bit `bit`.
+    MuxOrNode { node: u8, bit: u8 },
+
+    // ---- equality comparator (HDCU) --------------------------------
+    /// Per-bit XNOR output, bit `bit`.
+    CmpXnorOut { bit: u8 },
+    /// AND-chain internal node `node` (node 0 gates the valid input).
+    CmpChainNode { node: u8 },
+    /// Producer-valid input pin.
+    CmpValidIn,
+    /// Final comparator match output.
+    CmpOut,
+
+    // ---- HDCU control ------------------------------------------------
+    /// Load-use stall request line `line`.
+    StallLine { line: u8 },
+    /// Forwarding-select encoder output line: consumer mux `mux`,
+    /// select bit `bit`.
+    SelEncLine { mux: u8, bit: u8 },
+
+    // ---- ICU -----------------------------------------------------------
+    /// Pending latch state output for cause index `cause`.
+    PendLatchQ { cause: u8 },
+    /// Pending latch set input for cause index `cause`.
+    PendSetLine { cause: u8 },
+    /// Mapping line from cause `cause` into the cause register.
+    CauseMapLine { cause: u8 },
+    /// Cause register bit `bit` (as read by software).
+    CauseRegBit { bit: u8 },
+    /// Mask register bit for cause `cause`.
+    MaskBit { cause: u8 },
+    /// Trap-recognition request line.
+    RecognizeLine,
+    /// EPC capture register bit `bit`.
+    EpcBit { bit: u8 },
+    /// Imprecision-depth counter bit `bit`.
+    DepthBit { bit: u8 },
+
+    // ---- extension: small-delay defect (paper §V future work) -------
+    /// Transition/delay defect on the mux data path of source `src`,
+    /// bit `bit`: when the selected bit toggles, the stale value is
+    /// produced for one evaluation.
+    MuxPathDelay { src: u8, bit: u8 },
+}
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSite {
+    /// Owning unit.
+    pub unit: Unit,
+    /// Unit instance (e.g. which of the forwarding muxes).
+    pub instance: u16,
+    /// Gate pin.
+    pub element: Element,
+    /// Stuck polarity (ignored for [`Element::MuxPathDelay`]).
+    pub polarity: Polarity,
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let p = match self.polarity {
+            Polarity::StuckAt0 => "sa0",
+            Polarity::StuckAt1 => "sa1",
+        };
+        write!(f, "{}[{}].{:?}/{}", self.unit, self.instance, self.element, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_force() {
+        assert_eq!(Polarity::StuckAt1.force(0, 3), 8);
+        assert_eq!(Polarity::StuckAt0.force(0xff, 0), 0xfe);
+    }
+
+    #[test]
+    fn polarity_value() {
+        assert!(!Polarity::StuckAt0.value());
+        assert!(Polarity::StuckAt1.value());
+    }
+
+    #[test]
+    fn site_display() {
+        let s = FaultSite {
+            unit: Unit::Icu,
+            instance: 0,
+            element: Element::PendLatchQ { cause: 1 },
+            polarity: Polarity::StuckAt0,
+        };
+        let txt = s.to_string();
+        assert!(txt.contains("icu"), "{txt}");
+        assert!(txt.contains("sa0"), "{txt}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Equivalence of the analytic fault evaluators against a brute-force
+//! gate-netlist reference.
+//!
+//! The production evaluators in [`sbst_fault::gates`] compute the faulty
+//! output of the AND–OR mux / comparator chain *analytically* (O(width)
+//! regardless of fault count). These tests rebuild the same networks as
+//! explicit gate netlists, inject the stuck-at on the corresponding pin,
+//! evaluate gate by gate, and require bit-exact agreement on random
+//! inputs for *every* fault site — the evidence that the fast path
+//! faithfully implements the netlist semantics the paper's commercial
+//! fault simulator would use.
+
+use proptest::prelude::*;
+use sbst_fault::{gates, Element, Polarity};
+
+/// Brute-force netlist model of the one-hot AND–OR multiplexer.
+///
+/// Structure per output bit `b`:
+/// `and[s][b] = data_pin(s,b) AND sel_branch_pin(s,b)`;
+/// `or` accumulates in source order (`MuxOrNode` fault points);
+/// `out[b]` is the final OR output (`MuxOrOut` fault point).
+fn netlist_mux(
+    inputs: &[u64],
+    sel: Option<usize>,
+    width: u8,
+    fault: Option<(Element, Polarity)>,
+) -> u64 {
+    let forced = |element_matches: bool, value: bool, pol: Polarity| -> bool {
+        if element_matches {
+            pol.value()
+        } else {
+            value
+        }
+    };
+    let mut out = 0u64;
+    for b in 0..width {
+        // One-hot select stems (with stem fault).
+        let mut acc = false;
+        for (s, &data) in inputs.iter().enumerate() {
+            let mut stem = sel == Some(s);
+            if let Some((Element::MuxSelStem { src }, pol)) = fault {
+                if src as usize == s {
+                    stem = pol.value();
+                }
+            }
+            // Select branch pin for this bit.
+            let mut branch = stem;
+            if let Some((Element::MuxSelBranch { src, bit }, pol)) = fault {
+                branch = forced(src as usize == s && bit == b, branch, pol);
+            }
+            // Data pin.
+            let mut d = (data >> b) & 1 == 1;
+            if let Some((Element::MuxDataIn { src, bit }, pol)) = fault {
+                d = forced(src as usize == s && bit == b, d, pol);
+            }
+            // AND gate.
+            let mut and = d && branch;
+            if let Some((Element::MuxAndOut { src, bit }, pol)) = fault {
+                and = forced(src as usize == s && bit == b, and, pol);
+            }
+            // OR chain accumulation.
+            acc = acc || and;
+            if let Some((Element::MuxOrNode { node, bit }, pol)) = fault {
+                acc = forced(node as usize == s && bit == b, acc, pol);
+            }
+        }
+        if let Some((Element::MuxOrOut { bit }, pol)) = fault {
+            acc = forced(bit == b, acc, pol);
+        }
+        if acc {
+            out |= 1 << b;
+        }
+    }
+    out
+}
+
+/// Brute-force netlist model of the XNOR + AND-chain comparator.
+fn netlist_cmp(
+    a: u32,
+    b: u32,
+    bits: u8,
+    valid: bool,
+    fault: Option<(Element, Polarity)>,
+) -> bool {
+    let forced = |m: bool, v: bool, pol: Polarity| if m { pol.value() } else { v };
+    let mut valid = valid;
+    if let Some((Element::CmpValidIn, pol)) = fault {
+        valid = pol.value();
+    }
+    let mut chain = valid;
+    if let Some((Element::CmpChainNode { node }, pol)) = fault {
+        chain = forced(node == 0, chain, pol);
+    }
+    for i in 0..bits {
+        let mut xnor = (a >> i) & 1 == (b >> i) & 1;
+        if let Some((Element::CmpXnorOut { bit }, pol)) = fault {
+            xnor = forced(bit == i, xnor, pol);
+        }
+        chain = chain && xnor;
+        if let Some((Element::CmpChainNode { node }, pol)) = fault {
+            chain = forced(node == i + 1, chain, pol);
+        }
+    }
+    if let Some((Element::CmpOut, pol)) = fault {
+        chain = pol.value();
+    }
+    chain
+}
+
+/// Every mux fault site for `srcs` sources and `width` bits, including
+/// the OR-chain nodes.
+fn all_mux_sites(srcs: u8, width: u8) -> Vec<(Element, Polarity)> {
+    let mut sites = Vec::new();
+    for pol in Polarity::BOTH {
+        for src in 0..srcs {
+            sites.push((Element::MuxSelStem { src }, pol));
+            for bit in 0..width {
+                sites.push((Element::MuxDataIn { src, bit }, pol));
+                sites.push((Element::MuxSelBranch { src, bit }, pol));
+                sites.push((Element::MuxAndOut { src, bit }, pol));
+                sites.push((Element::MuxOrNode { node: src, bit }, pol));
+            }
+        }
+        for bit in 0..width {
+            sites.push((Element::MuxOrOut { bit }, pol));
+        }
+    }
+    sites
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mux_analytic_matches_netlist_for_every_fault(
+        inputs in prop::collection::vec(any::<u64>(), 5),
+        sel in 0usize..5,
+        width in prop::sample::select(vec![8u8, 32, 64]),
+    ) {
+        for (element, polarity) in all_mux_sites(5, width) {
+            let fast = gates::mux_out(&inputs, sel, width, Some((element, polarity)));
+            let slow = netlist_mux(&inputs, Some(sel), width, Some((element, polarity)));
+            prop_assert_eq!(
+                fast, slow,
+                "mismatch for {:?}/{:?} sel={} width={}",
+                element, polarity, sel, width
+            );
+        }
+    }
+
+    #[test]
+    fn mux_fault_free_matches_netlist(
+        inputs in prop::collection::vec(any::<u64>(), 2..8),
+        width in prop::sample::select(vec![8u8, 32, 64]),
+        sel_raw in any::<usize>(),
+    ) {
+        let sel = sel_raw % inputs.len();
+        prop_assert_eq!(
+            gates::mux_out(&inputs, sel, width, None),
+            netlist_mux(&inputs, Some(sel), width, None)
+        );
+    }
+
+    #[test]
+    fn cmp_analytic_matches_netlist_for_every_fault(
+        a in any::<u32>(),
+        b in any::<u32>(),
+        bits in 1u8..8,
+        valid in any::<bool>(),
+    ) {
+        let mut sites = vec![(Element::CmpValidIn, Polarity::StuckAt0), (Element::CmpOut, Polarity::StuckAt0)];
+        for pol in Polarity::BOTH {
+            sites.push((Element::CmpValidIn, pol));
+            sites.push((Element::CmpOut, pol));
+            for bit in 0..bits {
+                sites.push((Element::CmpXnorOut { bit }, pol));
+            }
+            for node in 0..=bits {
+                sites.push((Element::CmpChainNode { node }, pol));
+            }
+        }
+        for (element, polarity) in sites {
+            prop_assert_eq!(
+                gates::cmp_eq(a, b, bits, valid, Some((element, polarity))),
+                netlist_cmp(a, b, bits, valid, Some((element, polarity))),
+                "mismatch for {:?}/{:?}", element, polarity
+            );
+        }
+    }
+
+    #[test]
+    fn cmp_fault_free_matches_netlist(
+        a in any::<u32>(),
+        b in any::<u32>(),
+        bits in 1u8..33,
+        valid in any::<bool>(),
+    ) {
+        prop_assert_eq!(
+            gates::cmp_eq(a, b, bits as u8, valid, None),
+            netlist_cmp(a, b, bits as u8, valid, None)
+        );
+    }
+}
+
+#[test]
+fn single_fault_changes_at_most_its_cone() {
+    // A stuck-at on (src s, bit b) pins can only affect output bit b.
+    let inputs = [0x12u64, 0x34, 0x56, 0x78, 0x9a];
+    for (element, polarity) in all_mux_sites(5, 8) {
+        let affected_bit = match element {
+            Element::MuxDataIn { bit, .. }
+            | Element::MuxSelBranch { bit, .. }
+            | Element::MuxAndOut { bit, .. }
+            | Element::MuxOrNode { bit, .. }
+            | Element::MuxOrOut { bit } => Some(bit),
+            _ => None, // select stems fan out to all bits
+        };
+        if let Some(bit) = affected_bit {
+            for sel in 0..5 {
+                let clean = gates::mux_out(&inputs, sel, 8, None);
+                let faulty = gates::mux_out(&inputs, sel, 8, Some((element, polarity)));
+                let diff = clean ^ faulty;
+                assert!(
+                    diff & !(1 << bit) == 0,
+                    "{element:?}/{polarity:?} leaked outside bit {bit}: {diff:#x}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Control and status registers.
+
+/// Control and status registers exposed by the modeled cores.
+///
+/// Performance counters (`Cycles`, `IfStalls`, `MemStalls`, `HazStalls`,
+/// `Retired`) are the paper's "Performance Counters": self-test routines
+/// read them with `csrr` and fold them into the test signature to detect
+/// wrongly inserted pipeline stalls. The ICU registers expose the imprecise
+/// synchronous interrupt state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u16)]
+pub enum Csr {
+    /// Free-running cycle counter.
+    Cycles = 0x000,
+    /// Retired (committed) instruction counter.
+    Retired = 0x001,
+    /// Cycles the fetch stage stalled waiting for instruction memory.
+    IfStalls = 0x002,
+    /// Cycles the memory stage stalled waiting for data memory.
+    MemStalls = 0x003,
+    /// Cycles the issue stage stalled on data hazards (HDCU-inserted).
+    HazStalls = 0x004,
+    /// ICU cause register (bit layout differs between cores A/B and C).
+    IcuCause = 0x010,
+    /// ICU raw pending latches (one bit per cause source).
+    IcuPending = 0x011,
+    /// ICU interrupt mask; bit set = cause enabled.
+    IcuMask = 0x012,
+    /// Exception PC: address of the first instruction *not* retired
+    /// before the imprecise trap was recognised.
+    Epc = 0x013,
+    /// Number of instructions retired *past* the offending instruction
+    /// before the trap was recognised (the paper's "imprecision depth").
+    IcuDepth = 0x014,
+    /// Trap handler vector; traps are fatal while it is 0.
+    TrapVec = 0x015,
+    /// Identifier of this core (0 = A, 1 = B, 2 = C).
+    CoreId = 0x020,
+    /// Scratch register 0 (software use, e.g. saved signature).
+    Scratch0 = 0x030,
+    /// Scratch register 1.
+    Scratch1 = 0x031,
+}
+
+impl Csr {
+    /// All CSRs.
+    pub const ALL: [Csr; 14] = [
+        Csr::Cycles,
+        Csr::Retired,
+        Csr::IfStalls,
+        Csr::MemStalls,
+        Csr::HazStalls,
+        Csr::IcuCause,
+        Csr::IcuPending,
+        Csr::IcuMask,
+        Csr::Epc,
+        Csr::IcuDepth,
+        Csr::TrapVec,
+        Csr::CoreId,
+        Csr::Scratch0,
+        Csr::Scratch1,
+    ];
+
+    /// Numeric CSR address as used in the instruction encoding.
+    pub fn addr(self) -> u16 {
+        self as u16
+    }
+
+    /// CSR for a numeric address, if defined.
+    pub fn from_addr(addr: u16) -> Option<Csr> {
+        Csr::ALL.iter().copied().find(|c| c.addr() == addr)
+    }
+
+    /// Whether software writes via `csrw` are permitted.
+    ///
+    /// Counters are read-only from software (they are reset by the wrapper
+    /// through dedicated semantics in the core model); ICU mask, scratch
+    /// registers and the pending clear are writable.
+    pub fn is_writable(self) -> bool {
+        matches!(
+            self,
+            Csr::IcuMask | Csr::IcuPending | Csr::TrapVec | Csr::Scratch0 | Csr::Scratch1
+        )
+    }
+}
+
+impl std::fmt::Display for Csr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Csr::Cycles => "cycles",
+            Csr::Retired => "retired",
+            Csr::IfStalls => "ifstalls",
+            Csr::MemStalls => "memstalls",
+            Csr::HazStalls => "hazstalls",
+            Csr::IcuCause => "icucause",
+            Csr::IcuPending => "icupending",
+            Csr::IcuMask => "icumask",
+            Csr::Epc => "epc",
+            Csr::IcuDepth => "icudepth",
+            Csr::TrapVec => "trapvec",
+            Csr::CoreId => "coreid",
+            Csr::Scratch0 => "scratch0",
+            Csr::Scratch1 => "scratch1",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_roundtrip() {
+        for c in Csr::ALL {
+            assert_eq!(Csr::from_addr(c.addr()), Some(c));
+        }
+        assert_eq!(Csr::from_addr(0xfff), None);
+    }
+
+    #[test]
+    fn counters_are_read_only() {
+        assert!(!Csr::Cycles.is_writable());
+        assert!(!Csr::IfStalls.is_writable());
+        assert!(Csr::IcuMask.is_writable());
+        assert!(Csr::Scratch0.is_writable());
+    }
+}

@@ -1,0 +1,133 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # sbst-isa — the instruction set of the simulated automotive SoC
+//!
+//! This crate defines the 32-bit, dual-issue RISC instruction set used by
+//! every other crate of the `det-sbst` workspace: register and CSR names,
+//! the [`Instr`] enum with binary [`encode`](Instr::encode) /
+//! [`decode`](Instr::decode), a label-resolving [`Asm`] assembler and the
+//! [`Program`] container that the SoC loads into Flash.
+//!
+//! The ISA is intentionally close to the industrial cores evaluated in the
+//! DATE 2020 paper this workspace reproduces:
+//!
+//! * 32 general-purpose 32-bit registers, `r0` hardwired to zero;
+//! * dual-issue friendly fixed 32-bit encoding, packets aligned on 8 bytes;
+//! * `*v` arithmetic ops (`addv`, `mulv`) that raise **synchronous
+//!   imprecise** exceptions recognised by the Interrupt Control Unit;
+//! * 64-bit register-pair ALU ops (`add64`, …) implemented only by core C;
+//! * cache-management (`icinv`, `dcinv`) and CSR instructions used by the
+//!   self-test wrappers;
+//! * `amoswap` for the decentralized multi-core test scheduler.
+//!
+//! ## Example
+//!
+//! ```
+//! use sbst_isa::{Asm, Reg};
+//!
+//! # fn main() -> Result<(), sbst_isa::AsmError> {
+//! let mut a = Asm::new();
+//! let (r1, r2, r3) = (Reg::R1, Reg::R2, Reg::R3);
+//! a.li(r1, 40);
+//! a.li(r2, 2);
+//! a.label("again");
+//! a.add(r3, r1, r2);
+//! a.bne(r3, r1, "done");
+//! a.j("again");
+//! a.label("done");
+//! a.halt();
+//! let program = a.assemble(0x0000_0100)?;
+//! assert_eq!(program.base(), 0x100);
+//! # Ok(())
+//! # }
+//! ```
+
+mod asm;
+mod csr;
+mod instr;
+mod parse;
+mod program;
+mod reg;
+mod source;
+
+pub use asm::{Asm, AsmError};
+pub use parse::ParseInstrError;
+pub use source::ParseSourceError;
+pub use csr::Csr;
+pub use instr::{AluOp, CacheOp, Cond, DecodeError, Instr};
+pub use program::Program;
+pub use reg::Reg;
+
+/// Exception causes raised by instructions.
+///
+/// All of these are *synchronous imprecise* in the modeled cores: they are
+/// latched by the Interrupt Control Unit when the offending instruction
+/// executes and are only recognised a variable number of instructions
+/// later (see `sbst-cpu`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cause {
+    /// Signed overflow in `addv`.
+    Overflow,
+    /// Signed overflow in `mulv` (product does not fit in 32 bits).
+    MulOverflow,
+    /// Misaligned data access by `lw`/`sw`/`amoswap`.
+    Unaligned,
+    /// Instruction not implemented by this core (e.g. `add64` on core A/B).
+    Illegal,
+}
+
+impl Cause {
+    /// All causes, in priority order (index 0 = highest priority).
+    pub const ALL: [Cause; 4] = [
+        Cause::Overflow,
+        Cause::MulOverflow,
+        Cause::Unaligned,
+        Cause::Illegal,
+    ];
+
+    /// Stable index of this cause (0..4), used by the ICU cause encoder.
+    pub fn index(self) -> usize {
+        match self {
+            Cause::Overflow => 0,
+            Cause::MulOverflow => 1,
+            Cause::Unaligned => 2,
+            Cause::Illegal => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Cause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Cause::Overflow => "overflow",
+            Cause::MulOverflow => "mul-overflow",
+            Cause::Unaligned => "unaligned",
+            Cause::Illegal => "illegal",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_indices_are_stable_and_distinct() {
+        let mut seen = [false; 4];
+        for c in Cause::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn cause_display_is_lowercase() {
+        for c in Cause::ALL {
+            let s = c.to_string();
+            assert_eq!(s, s.to_lowercase());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Assembly-text parsing: the inverse of the `Display` impls.
+//!
+//! Accepts exactly the notation the disassembler prints (plus flexible
+//! whitespace), so `instr.to_string().parse()` round-trips every
+//! instruction — handy for writing test programs as text and for
+//! tooling over disassembly listings.
+
+use std::str::FromStr;
+
+use crate::{AluOp, CacheOp, Cond, Csr, Instr, Reg};
+
+/// Error produced when a line of assembly text cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseInstrError {
+    /// The offending text.
+    pub text: String,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for ParseInstrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot parse `{}`: {}", self.text, self.reason)
+    }
+}
+
+impl std::error::Error for ParseInstrError {}
+
+fn err(text: &str, reason: &'static str) -> ParseInstrError {
+    ParseInstrError { text: text.to_string(), reason }
+}
+
+impl FromStr for Reg {
+    type Err = ParseInstrError;
+
+    fn from_str(s: &str) -> Result<Reg, ParseInstrError> {
+        let s = s.trim();
+        let idx = s
+            .strip_prefix('r')
+            .and_then(|n| n.parse::<u8>().ok())
+            .ok_or_else(|| err(s, "expected a register like `r7`"))?;
+        Reg::try_from(idx).map_err(|()| err(s, "register index out of range"))
+    }
+}
+
+impl FromStr for Csr {
+    type Err = ParseInstrError;
+
+    fn from_str(s: &str) -> Result<Csr, ParseInstrError> {
+        let s = s.trim();
+        Csr::ALL
+            .iter()
+            .copied()
+            .find(|c| c.to_string() == s)
+            .ok_or_else(|| err(s, "unknown CSR name"))
+    }
+}
+
+/// Parses a signed integer in decimal or `0x` hex (with optional sign).
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// Splits `off(base)` notation.
+fn parse_mem_operand(s: &str) -> Option<(i16, Reg)> {
+    let s = s.trim();
+    let open = s.find('(')?;
+    let close = s.rfind(')')?;
+    let off = if open == 0 { 0 } else { i16::try_from(parse_int(&s[..open])?).ok()? };
+    let base: Reg = s[open + 1..close].parse().ok()?;
+    Some((off, base))
+}
+
+impl FromStr for Instr {
+    type Err = ParseInstrError;
+
+    /// Parses one instruction in the disassembler's notation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseInstrError`] for unknown mnemonics, malformed
+    /// operands or out-of-range immediates.
+    fn from_str(line: &str) -> Result<Instr, ParseInstrError> {
+        let line = line.trim();
+        let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (line, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let nargs = ops.len();
+        let want = |n: usize| -> Result<(), ParseInstrError> {
+            if nargs == n {
+                Ok(())
+            } else {
+                Err(err(line, "wrong operand count"))
+            }
+        };
+        let reg = |i: usize| -> Result<Reg, ParseInstrError> {
+            ops.get(i).ok_or_else(|| err(line, "missing operand"))?.parse()
+        };
+        let imm16 = |i: usize| -> Result<i16, ParseInstrError> {
+            let raw = parse_int(ops.get(i).ok_or_else(|| err(line, "missing operand"))?)
+                .ok_or_else(|| err(line, "bad immediate"))?;
+            // Accept both signed and unsigned-u16 spellings.
+            if (-(1 << 15)..(1 << 16)).contains(&raw) {
+                Ok(raw as u16 as i16)
+            } else {
+                Err(err(line, "immediate out of 16-bit range"))
+            }
+        };
+
+        match mnemonic {
+            "nop" => want(0).map(|()| Instr::Nop),
+            "halt" => want(0).map(|()| Instr::Halt),
+            "mret" => want(0).map(|()| Instr::Mret),
+            "icinv" => want(0).map(|()| Instr::Cache(CacheOp::IcInv)),
+            "dcinv" => want(0).map(|()| Instr::Cache(CacheOp::DcInv)),
+            "lui" => {
+                want(2)?;
+                let raw = parse_int(ops[1]).ok_or_else(|| err(line, "bad immediate"))?;
+                let imm = u16::try_from(raw).map_err(|_| err(line, "lui immediate range"))?;
+                Ok(Instr::Lui { rd: reg(0)?, imm })
+            }
+            "lw" => {
+                want(2)?;
+                let (off, base) =
+                    parse_mem_operand(ops[1]).ok_or_else(|| err(line, "bad memory operand"))?;
+                Ok(Instr::Load { rd: reg(0)?, base, off })
+            }
+            "sw" => {
+                want(2)?;
+                let (off, base) =
+                    parse_mem_operand(ops[1]).ok_or_else(|| err(line, "bad memory operand"))?;
+                Ok(Instr::Store { src: reg(0)?, base, off })
+            }
+            "amoswap" => {
+                want(3)?;
+                let (off, base) =
+                    parse_mem_operand(ops[2]).ok_or_else(|| err(line, "bad memory operand"))?;
+                if off != 0 {
+                    return Err(err(line, "amoswap takes no offset"));
+                }
+                Ok(Instr::Amoswap { rd: reg(0)?, base, src: reg(1)? })
+            }
+            "jal" => {
+                want(2)?;
+                let off = parse_int(ops[1]).ok_or_else(|| err(line, "bad offset"))?;
+                if !(-(1 << 20)..(1 << 20)).contains(&off) {
+                    return Err(err(line, "jal offset out of range"));
+                }
+                Ok(Instr::Jal { rd: reg(0)?, off: off as i32 })
+            }
+            "jalr" => {
+                want(2)?;
+                let (off, base) =
+                    parse_mem_operand(ops[1]).ok_or_else(|| err(line, "bad memory operand"))?;
+                Ok(Instr::Jalr { rd: reg(0)?, base, off })
+            }
+            "csrr" => {
+                want(2)?;
+                Ok(Instr::CsrRead { rd: reg(0)?, csr: ops[1].parse()? })
+            }
+            "csrw" => {
+                want(2)?;
+                Ok(Instr::CsrWrite { csr: ops[0].parse()?, src: reg(1)? })
+            }
+            // `subi` is a pseudo-instruction (negated `addi`).
+            "subi" => {
+                want(3)?;
+                let imm = imm16(2)?;
+                let neg = imm.checked_neg().ok_or_else(|| err(line, "subi immediate range"))?;
+                Ok(Instr::AluImm { op: AluOp::Add, rd: reg(0)?, rs1: reg(1)?, imm: neg })
+            }
+            _ => {
+                // Branches: b<cond>.
+                if let Some(cond) = Cond::ALL
+                    .iter()
+                    .copied()
+                    .find(|c| mnemonic == format!("b{}", c.mnemonic()))
+                {
+                    want(3)?;
+                    return Ok(Instr::Branch { cond, rs1: reg(0)?, rs2: reg(1)?, off: imm16(2)? });
+                }
+                // ALU forms: <op>, <op>64, <op>i.
+                for op in AluOp::ALL {
+                    let stem = op.mnemonic();
+                    if mnemonic == stem {
+                        want(3)?;
+                        return Ok(Instr::Alu { op, rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)? });
+                    }
+                    if mnemonic == format!("{stem}64") {
+                        want(3)?;
+                        return Ok(Instr::Alu64 { op, rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)? });
+                    }
+                    if mnemonic == format!("{stem}i") {
+                        if !op.has_imm_form() {
+                            return Err(err(line, "this op has no immediate form"));
+                        }
+                        want(3)?;
+                        return Ok(Instr::AluImm { op, rd: reg(0)?, rs1: reg(1)?, imm: imm16(2)? });
+                    }
+                }
+                Err(err(line, "unknown mnemonic"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_representative_lines() {
+        assert_eq!("nop".parse::<Instr>().unwrap(), Instr::Nop);
+        assert_eq!(
+            "add r3, r1, r2".parse::<Instr>().unwrap(),
+            Instr::Alu { op: AluOp::Add, rd: Reg::R3, rs1: Reg::R1, rs2: Reg::R2 }
+        );
+        assert_eq!(
+            "addi r5, r0, -7".parse::<Instr>().unwrap(),
+            Instr::AluImm { op: AluOp::Add, rd: Reg::R5, rs1: Reg::R0, imm: -7 }
+        );
+        assert_eq!(
+            "lw r4, -8(r9)".parse::<Instr>().unwrap(),
+            Instr::Load { rd: Reg::R4, base: Reg::R9, off: -8 }
+        );
+        assert_eq!(
+            "amoswap r1, r2, (r3)".parse::<Instr>().unwrap(),
+            Instr::Amoswap { rd: Reg::R1, base: Reg::R3, src: Reg::R2 }
+        );
+        assert_eq!(
+            "beq r1, r2, 16".parse::<Instr>().unwrap(),
+            Instr::Branch { cond: Cond::Eq, rs1: Reg::R1, rs2: Reg::R2, off: 16 }
+        );
+        assert_eq!(
+            "csrw icumask, r7".parse::<Instr>().unwrap(),
+            Instr::CsrWrite { csr: Csr::IcuMask, src: Reg::R7 }
+        );
+        assert_eq!(
+            "lui r2, 0xdead".parse::<Instr>().unwrap(),
+            Instr::Lui { rd: Reg::R2, imm: 0xdead }
+        );
+        assert_eq!(
+            "add64 r4, r2, r6".parse::<Instr>().unwrap(),
+            Instr::Alu64 { op: AluOp::Add, rd: Reg::R4, rs1: Reg::R2, rs2: Reg::R6 }
+        );
+    }
+
+    #[test]
+    fn subi_is_a_pseudo_for_negated_addi() {
+        assert_eq!(
+            "subi r1, r1, 5".parse::<Instr>().unwrap(),
+            Instr::AluImm { op: AluOp::Add, rd: Reg::R1, rs1: Reg::R1, imm: -5 }
+        );
+        assert!("muli r1, r1, 5".parse::<Instr>().is_err(), "no immediate multiply");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("frobnicate r1".parse::<Instr>().is_err());
+        assert!("add r1, r2".parse::<Instr>().is_err());
+        assert!("lw r1, r2".parse::<Instr>().is_err());
+        assert!("add r99, r1, r2".parse::<Instr>().is_err());
+        assert!("csrr r1, nonsense".parse::<Instr>().is_err());
+        assert!("amoswap r1, r2, 4(r3)".parse::<Instr>().is_err());
+    }
+
+    #[test]
+    fn reg_and_csr_from_str() {
+        assert_eq!("r31".parse::<Reg>().unwrap(), Reg::R31);
+        assert!("r32".parse::<Reg>().is_err());
+        assert!("x1".parse::<Reg>().is_err());
+        assert_eq!("cycles".parse::<Csr>().unwrap(), Csr::Cycles);
+    }
+}

@@ -1,0 +1,174 @@
+//! General-purpose register names.
+
+/// One of the 32 general-purpose registers.
+///
+/// `R0` is hardwired to zero: writes to it are discarded by the core.
+/// 64-bit operations (core C) use *even/odd pairs*: `add64 r4, r2, r6`
+/// reads `(r2, r3)` and `(r6, r7)` as little-endian 64-bit values and
+/// writes `(r4, r5)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+#[allow(missing_docs)] // r0..r31 are self-describing
+pub enum Reg {
+    R0 = 0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    R16,
+    R17,
+    R18,
+    R19,
+    R20,
+    R21,
+    R22,
+    R23,
+    R24,
+    R25,
+    R26,
+    R27,
+    R28,
+    R29,
+    R30,
+    R31,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; 32] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+        Reg::R16,
+        Reg::R17,
+        Reg::R18,
+        Reg::R19,
+        Reg::R20,
+        Reg::R21,
+        Reg::R22,
+        Reg::R23,
+        Reg::R24,
+        Reg::R25,
+        Reg::R26,
+        Reg::R27,
+        Reg::R28,
+        Reg::R29,
+        Reg::R30,
+        Reg::R31,
+    ];
+
+    /// Register for index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn from_index(i: usize) -> Reg {
+        Reg::ALL[i]
+    }
+
+    /// Index of this register (0..32).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether this register can serve as the low half of a 64-bit pair.
+    pub fn is_even(self) -> bool {
+        self.index().is_multiple_of(2)
+    }
+
+    /// The odd partner of an even register (high half of a 64-bit pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is odd or `R31`-adjacent overflow would occur.
+    pub fn pair_high(self) -> Reg {
+        assert!(self.is_even(), "64-bit pair base must be even: {self}");
+        Reg::from_index(self.index() + 1)
+    }
+
+    /// Whether this is the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self == Reg::R0
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r as u8
+    }
+}
+
+impl TryFrom<u8> for Reg {
+    type Error = ();
+
+    fn try_from(v: u8) -> Result<Reg, ()> {
+        if v < 32 {
+            Ok(Reg::ALL[v as usize])
+        } else {
+            Err(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..32 {
+            assert_eq!(Reg::from_index(i).index(), i);
+            assert_eq!(Reg::try_from(i as u8).unwrap().index(), i);
+        }
+        assert!(Reg::try_from(32u8).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R31.to_string(), "r31");
+    }
+
+    #[test]
+    fn pairs() {
+        assert!(Reg::R4.is_even());
+        assert_eq!(Reg::R4.pair_high(), Reg::R5);
+        assert!(!Reg::R5.is_even());
+    }
+
+    #[test]
+    #[should_panic]
+    fn pair_high_panics_on_odd() {
+        let _ = Reg::R3.pair_high();
+    }
+}

@@ -1,0 +1,299 @@
+//! Multi-line assembly source parsing.
+//!
+//! Builds an [`Asm`] from `.s`-style text: one instruction or directive
+//! per line, `name:` labels, `;`/`#` comments, branch/jump mnemonics may
+//! target labels, and a few pseudo-instructions (`li`, `j`, `call`,
+//! `ret`, `mv`) expand exactly like the corresponding [`Asm`] methods.
+//!
+//! ```
+//! use sbst_isa::Asm;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let asm = Asm::parse_source(r"
+//!     li   r1, 5          ; counter
+//! spin:
+//!     subi r1, r1, 1
+//!     bne  r1, r0, spin
+//!     halt
+//! ")?;
+//! let program = asm.assemble(0x400)?;
+//! assert_eq!(program.words().len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Asm, Cond, Instr, ParseInstrError, Reg};
+
+/// Error from [`Asm::parse_source`]: the line number (1-based) and the
+/// underlying instruction-parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSourceError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// The failure on that line.
+    pub error: ParseInstrError,
+}
+
+impl std::fmt::Display for ParseSourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.error)
+    }
+}
+
+impl std::error::Error for ParseSourceError {}
+
+fn perr(line: usize, text: &str, reason: &'static str) -> ParseSourceError {
+    ParseSourceError {
+        line,
+        error: ParseInstrError { text: text.to_string(), reason },
+    }
+}
+
+impl Asm {
+    /// Parses multi-line assembly source into an assembler.
+    ///
+    /// Supports everything the instruction parser accepts, plus labels
+    /// (`name:`), label targets for `b<cond>`/`jal`/`j`/`call`, the
+    /// pseudo-instructions `li rd, imm32`, `mv rd, rs`, `j label`,
+    /// `call label`, `ret`, `nop`-padding via `.align n`, and `.word v`
+    /// data directives. Comments start with `;` or `#`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending line.
+    pub fn parse_source(source: &str) -> Result<Asm, ParseSourceError> {
+        let mut asm = Asm::new();
+        for (idx, raw) in source.lines().enumerate() {
+            let lineno = idx + 1;
+            // Strip comments.
+            let code = raw.split([';', '#']).next().unwrap_or("").trim();
+            if code.is_empty() {
+                continue;
+            }
+            // Labels (possibly followed by an instruction on the same line).
+            let mut rest = code;
+            while let Some(colon) = rest.find(':') {
+                let (label, after) = rest.split_at(colon);
+                let label = label.trim();
+                if label.is_empty() || label.contains(char::is_whitespace) {
+                    break; // not a label — let the instruction parser complain
+                }
+                asm.label(label);
+                rest = after[1..].trim();
+                if rest.is_empty() {
+                    break;
+                }
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            let (mnemonic, operands) = match rest.split_once(char::is_whitespace) {
+                Some((m, o)) => (m, o.trim()),
+                None => (rest, ""),
+            };
+            let ops: Vec<&str> = if operands.is_empty() {
+                Vec::new()
+            } else {
+                operands.split(',').map(str::trim).collect()
+            };
+            match mnemonic {
+                ".align" => {
+                    let n = parse_u32(operands)
+                        .ok_or_else(|| perr(lineno, rest, "bad alignment"))?;
+                    if !n.is_power_of_two() || n < 4 {
+                        return Err(perr(lineno, rest, "alignment must be a power of two >= 4"));
+                    }
+                    asm.align(n);
+                }
+                ".word" => {
+                    let v = parse_u32(operands)
+                        .ok_or_else(|| perr(lineno, rest, "bad data word"))?;
+                    asm.word(v);
+                }
+                "li" => {
+                    if ops.len() != 2 {
+                        return Err(perr(lineno, rest, "li takes `rd, imm32`"));
+                    }
+                    let rd: Reg = ops[0]
+                        .parse()
+                        .map_err(|error| ParseSourceError { line: lineno, error })?;
+                    let v = parse_u32(ops[1])
+                        .ok_or_else(|| perr(lineno, rest, "bad li constant"))?;
+                    asm.li(rd, v);
+                }
+                "mv" => {
+                    if ops.len() != 2 {
+                        return Err(perr(lineno, rest, "mv takes `rd, rs`"));
+                    }
+                    let rd: Reg = ops[0]
+                        .parse()
+                        .map_err(|error| ParseSourceError { line: lineno, error })?;
+                    let rs: Reg = ops[1]
+                        .parse()
+                        .map_err(|error| ParseSourceError { line: lineno, error })?;
+                    asm.mv(rd, rs);
+                }
+                "j" => {
+                    if ops.len() != 1 {
+                        return Err(perr(lineno, rest, "j takes a label"));
+                    }
+                    asm.j(ops[0]);
+                }
+                "call" => {
+                    if ops.len() != 1 {
+                        return Err(perr(lineno, rest, "call takes a label"));
+                    }
+                    asm.call(ops[0]);
+                }
+                "ret" => asm.ret(),
+                _ => {
+                    // Branch-to-label / jal-to-label forms first.
+                    let branch_cond = Cond::ALL
+                        .iter()
+                        .copied()
+                        .find(|c| mnemonic == format!("b{}", c.mnemonic()));
+                    if let Some(cond) = branch_cond {
+                        if ops.len() == 3 && parse_u32(ops[2]).is_none() {
+                            let rs1: Reg = ops[0]
+                                .parse()
+                                .map_err(|error| ParseSourceError { line: lineno, error })?;
+                            let rs2: Reg = ops[1]
+                                .parse()
+                                .map_err(|error| ParseSourceError { line: lineno, error })?;
+                            asm.branch(cond, rs1, rs2, ops[2]);
+                            continue;
+                        }
+                    }
+                    if mnemonic == "jal" && ops.len() == 2 && parse_u32(ops[1]).is_none() {
+                        let rd: Reg = ops[0]
+                            .parse()
+                            .map_err(|error| ParseSourceError { line: lineno, error })?;
+                        asm.jal(rd, ops[1]);
+                        continue;
+                    }
+                    // Fall back to the single-instruction parser.
+                    let instr: Instr = rest
+                        .parse()
+                        .map_err(|error| ParseSourceError { line: lineno, error })?;
+                    asm.emit(instr);
+                }
+            }
+        }
+        Ok(asm)
+    }
+}
+
+/// Unsigned 32-bit constant in decimal, hex, or negative-decimal
+/// (two's complement) notation.
+fn parse_u32(s: &str) -> Option<u32> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        return u32::from_str_radix(hex, 16).ok();
+    }
+    if let Some(neg) = s.strip_prefix('-') {
+        return neg.parse::<u32>().ok().map(u32::wrapping_neg);
+    }
+    s.parse::<u32>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AsmError;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Arbitrary text must never panic the parser (errors are fine).
+        #[test]
+        fn parser_never_panics(text in "[ -~\n\t]{0,200}") {
+            let _ = Asm::parse_source(&text);
+        }
+
+        /// Valid-ish token soup: mnemonics with random operands.
+        #[test]
+        fn mnemonic_soup_never_panics(
+            lines in prop::collection::vec(
+                (
+                    prop::sample::select(vec![
+                        "add", "addi", "subi", "lw", "sw", "beq", "jal", "jalr",
+                        "csrr", "csrw", "li", "j", "call", ".align", ".word",
+                        "amoswap", "lui", "mulv", "add64",
+                    ]),
+                    prop::collection::vec("[-a-z0-9(){},xr]{0,8}", 0..4),
+                ),
+                0..20,
+            )
+        ) {
+            let text: String = lines
+                .iter()
+                .map(|(m, ops)| format!("{m} {}
+", ops.join(", ")))
+                .collect();
+            let _ = Asm::parse_source(&text);
+        }
+    }
+
+    #[test]
+    fn parses_a_program_with_labels_and_pseudos() {
+        let asm = Asm::parse_source(
+            r"
+            ; a counted loop
+            li r1, 3
+        top:
+            addi r2, r2, 10   # body
+            subi r1, r1, 1
+            bne  r1, r0, top
+            call leaf
+            halt
+        leaf:
+            mv r3, r2
+            ret
+        ",
+        )
+        .expect("parses");
+        let program = asm.assemble(0x100).expect("assembles");
+        assert_eq!(program.words().len(), 8);
+    }
+
+    #[test]
+    fn labels_on_their_own_or_inline() {
+        let asm = Asm::parse_source("a: b: nop\nj a\n").expect("parses");
+        assert!(asm.assemble(0).is_ok());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let e = Asm::parse_source("nop\nbogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let text = e.to_string();
+        assert!(text.contains("line 2"), "{text}");
+    }
+
+    #[test]
+    fn directives() {
+        let asm = Asm::parse_source(".align 8\n.word 0xdeadbeef\nhalt\n").expect("parses");
+        let p = asm.assemble(0x104).expect("assembles");
+        assert_eq!(p.words()[0], sbst_isa_nop_word());
+        assert_eq!(p.words()[1], 0xdead_beef);
+    }
+
+    fn sbst_isa_nop_word() -> u32 {
+        Instr::Nop.encode()
+    }
+
+    #[test]
+    fn duplicate_label_surfaces_at_assemble_time() {
+        let asm = Asm::parse_source("x: nop\nx: nop\n").expect("parse is lenient");
+        assert_eq!(asm.assemble(0), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn negative_and_hex_constants() {
+        let asm = Asm::parse_source("li r1, -1\nli r2, 0xffff0000\nhalt\n").expect("parses");
+        let p = asm.assemble(0).expect("assembles");
+        // li -1 fits addi; li 0xffff0000 is lui+ori.
+        assert_eq!(p.words().len(), 4);
+    }
+}

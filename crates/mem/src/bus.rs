@@ -1,0 +1,439 @@
+//! The shared system bus and its round-robin arbiter.
+//!
+//! One transaction occupies the bus at a time; every in-flight request
+//! from another port waits. This serialization is the physical source of
+//! the paper's multi-core nondeterminism: instruction fetches are delayed
+//! by the other cores' traffic, so the exact stream of instructions
+//! entering each pipeline depends on global interleaving.
+
+use crate::flash::FlashCtl;
+use crate::map::{Region, MMIO_BASE};
+use crate::sram::Sram;
+use crate::watchdog::Watchdog;
+
+/// Maximum burst length in words (one 32-byte cache line).
+pub const MAX_BURST: usize = 8;
+
+/// What a bus transaction does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Read `burst` consecutive words.
+    Read,
+    /// Write one word.
+    Write(u32),
+    /// Atomic swap: write the payload, return the old word.
+    Swap(u32),
+}
+
+/// A request presented on one bus port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusRequest {
+    /// Operation.
+    pub kind: ReqKind,
+    /// Word-aligned byte address of the first word.
+    pub addr: u32,
+    /// Burst length in words (1 for writes/swaps).
+    pub burst: u8,
+}
+
+impl BusRequest {
+    /// Single-word read.
+    pub fn read(addr: u32) -> BusRequest {
+        BusRequest { kind: ReqKind::Read, addr, burst: 1 }
+    }
+
+    /// Burst read of `burst` words (e.g. a cache-line fill).
+    pub fn read_burst(addr: u32, burst: u8) -> BusRequest {
+        BusRequest { kind: ReqKind::Read, addr, burst }
+    }
+
+    /// Single-word write.
+    pub fn write(addr: u32, value: u32) -> BusRequest {
+        BusRequest { kind: ReqKind::Write(value), addr, burst: 1 }
+    }
+
+    /// Atomic swap.
+    pub fn swap(addr: u32, value: u32) -> BusRequest {
+        BusRequest { kind: ReqKind::Swap(value), addr, burst: 1 }
+    }
+}
+
+/// Data returned on transaction completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusResponse {
+    data: [u32; MAX_BURST],
+    len: u8,
+}
+
+impl BusResponse {
+    /// First (or only) data word.
+    pub fn word(&self) -> u32 {
+        self.data[0]
+    }
+
+    /// All returned words.
+    pub fn words(&self) -> &[u32] {
+        &self.data[..self.len as usize]
+    }
+}
+
+/// Aggregate and per-port bus statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Completed transactions.
+    pub transactions: u64,
+    /// Cycles the bus was occupied by a transaction.
+    pub busy_cycles: u64,
+    /// Per-port cycles spent waiting for a grant.
+    pub wait_cycles: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct Active {
+    port: usize,
+    remaining: u32,
+    resp: BusResponse,
+}
+
+/// The shared system bus: Flash + SRAM slaves, N master ports,
+/// round-robin arbitration, one transaction in flight.
+///
+/// Protocol, from a master's point of view:
+/// 1. [`request`](Bus::request) — present a request on your port
+///    (panics if the port already has one in flight);
+/// 2. call [`step`](Bus::step) once per cycle (the SoC does this);
+/// 3. poll [`response`](Bus::response) until it yields the data.
+#[derive(Debug)]
+pub struct Bus {
+    flash: FlashCtl,
+    sram: Sram,
+    watchdog: Watchdog,
+    pending: Vec<Option<BusRequest>>,
+    responses: Vec<Option<BusResponse>>,
+    active: Option<Active>,
+    rr: usize,
+    stats: BusStats,
+}
+
+impl Bus {
+    /// Creates a bus with `ports` master ports.
+    pub fn new(flash: FlashCtl, sram: Sram, ports: usize) -> Bus {
+        Bus {
+            flash,
+            sram,
+            watchdog: Watchdog::new(),
+            pending: vec![None; ports],
+            responses: vec![None; ports],
+            active: None,
+            rr: 0,
+            stats: BusStats { wait_cycles: vec![0; ports], ..BusStats::default() },
+        }
+    }
+
+    /// Number of master ports.
+    pub fn ports(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Presents `req` on `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port already has a request in flight or an untaken
+    /// response, if the address is unaligned, or if the burst length is
+    /// 0 or exceeds [`MAX_BURST`].
+    pub fn request(&mut self, port: usize, req: BusRequest) {
+        assert!(self.pending[port].is_none(), "port {port} already has a request");
+        assert!(self.responses[port].is_none(), "port {port} has an untaken response");
+        assert_eq!(req.addr % 4, 0, "unaligned bus address {:#x}", req.addr);
+        assert!((1..=MAX_BURST as u8).contains(&req.burst), "bad burst {}", req.burst);
+        self.pending[port] = Some(req);
+    }
+
+    /// Whether `port` has a request in flight (waiting or being served).
+    pub fn port_busy(&self, port: usize) -> bool {
+        self.pending[port].is_some()
+            || self.active.as_ref().is_some_and(|a| a.port == port)
+    }
+
+    /// Takes the completed response for `port`, if any.
+    pub fn response(&mut self, port: usize) -> Option<BusResponse> {
+        self.responses[port].take()
+    }
+
+    /// Advances the bus by one clock cycle.
+    pub fn step(&mut self) {
+        self.watchdog.tick();
+        // Arbitrate first: the grant cycle is the first cycle of the
+        // access, so an uncontended single-word SRAM read completes in
+        // exactly `access_cycles` steps.
+        if self.active.is_none() {
+            let n = self.ports();
+            for i in 0..n {
+                let port = (self.rr + 1 + i) % n;
+                if let Some(req) = self.pending[port].take() {
+                    self.rr = port;
+                    let (latency, resp) = self.execute(req);
+                    self.active = Some(Active { port, remaining: latency.max(1), resp });
+                    break;
+                }
+            }
+        }
+        // Progress the active transaction.
+        if let Some(a) = &mut self.active {
+            self.stats.busy_cycles += 1;
+            a.remaining -= 1;
+            if a.remaining == 0 {
+                let a = self.active.take().expect("checked");
+                self.responses[a.port] = Some(a.resp);
+                self.stats.transactions += 1;
+            }
+        }
+        // Requests still pending after arbitration are waiting for grant.
+        for (p, r) in self.pending.iter().enumerate() {
+            if r.is_some() {
+                self.stats.wait_cycles[p] += 1;
+            }
+        }
+    }
+
+    /// Performs the data-phase of a transaction and returns its latency.
+    fn execute(&mut self, req: BusRequest) -> (u32, BusResponse) {
+        let mut resp = BusResponse { data: [0; MAX_BURST], len: req.burst };
+        let region = Region::of(req.addr);
+        let latency = match (region, req.kind) {
+            (Region::Flash, ReqKind::Read) => {
+                let mut lat = self.flash.access(req.addr);
+                for i in 0..req.burst as u32 {
+                    let a = req.addr + i * 4;
+                    if i > 0 {
+                        // Burst beats cost one cycle each and advance the
+                        // prefetch row buffers as a side effect.
+                        let _ = self.flash.access(a);
+                        lat += 1;
+                    }
+                    resp.data[i as usize] = self.flash.word_at(a);
+                }
+                lat
+            }
+            // Flash is ROM at runtime: writes are acknowledged and dropped,
+            // swaps return the old value without modifying anything.
+            (Region::Flash, ReqKind::Write(_)) => self.flash.access(req.addr),
+            (Region::Flash, ReqKind::Swap(_)) => {
+                resp.data[0] = self.flash.word_at(req.addr);
+                self.flash.access(req.addr)
+            }
+            (Region::Sram, ReqKind::Read) => {
+                for i in 0..req.burst as u32 {
+                    resp.data[i as usize] = self.sram.read(req.addr + i * 4);
+                }
+                self.sram.access_cycles() + (req.burst as u32 - 1)
+            }
+            (Region::Sram, ReqKind::Write(v)) => {
+                self.sram.write(req.addr, v);
+                self.sram.access_cycles()
+            }
+            (Region::Sram, ReqKind::Swap(v)) => {
+                resp.data[0] = self.sram.read(req.addr);
+                self.sram.write(req.addr, v);
+                self.sram.access_cycles() + 1
+            }
+            (Region::Mmio, ReqKind::Read) => {
+                for i in 0..req.burst as u32 {
+                    resp.data[i as usize] =
+                        self.watchdog.read(req.addr - MMIO_BASE + i * 4);
+                }
+                2
+            }
+            (Region::Mmio, ReqKind::Write(v)) => {
+                self.watchdog.write(req.addr - MMIO_BASE, v);
+                2
+            }
+            (Region::Mmio, ReqKind::Swap(v)) => {
+                resp.data[0] = self.watchdog.read(req.addr - MMIO_BASE);
+                self.watchdog.write(req.addr - MMIO_BASE, v);
+                2
+            }
+            // TCMs are not bus slaves; unmapped reads return zeros.
+            _ => 1,
+        };
+        (latency, resp)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// Direct harness access to the SRAM slave (no bus traffic).
+    pub fn sram(&self) -> &Sram {
+        &self.sram
+    }
+
+    /// Mutable harness access to the SRAM slave (no bus traffic).
+    pub fn sram_mut(&mut self) -> &mut Sram {
+        &mut self.sram
+    }
+
+    /// Direct harness access to the Flash controller.
+    pub fn flash(&self) -> &FlashCtl {
+        &self.flash
+    }
+
+    /// The watchdog peripheral.
+    pub fn watchdog(&self) -> &Watchdog {
+        &self.watchdog
+    }
+
+    /// Harness access to the watchdog (e.g. to model boot-ROM arming
+    /// before the self-test code runs).
+    pub fn watchdog_mut(&mut self) -> &mut Watchdog {
+        &mut self.watchdog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flash::{FlashImage, FlashTiming};
+    use crate::map::SRAM_BASE;
+    use sbst_isa::{Asm, Reg};
+
+    fn bus(ports: usize) -> Bus {
+        let mut img = FlashImage::new();
+        let mut a = Asm::new();
+        for i in 0..16 {
+            a.addi(Reg::R1, Reg::R0, i);
+        }
+        img.load(&a.assemble(0x100).unwrap());
+        Bus::new(
+            FlashCtl::new(img.freeze(), FlashTiming::default()),
+            Sram::default(),
+            ports,
+        )
+    }
+
+    fn run_to_response(bus: &mut Bus, port: usize, max: u32) -> (u32, BusResponse) {
+        for cycle in 1..=max {
+            bus.step();
+            if let Some(r) = bus.response(port) {
+                return (cycle, r);
+            }
+        }
+        panic!("no response after {max} cycles");
+    }
+
+    #[test]
+    fn flash_read_latency_and_data() {
+        let mut b = bus(1);
+        b.request(0, BusRequest::read(0x100));
+        let (cycles, r) = run_to_response(&mut b, 0, 100);
+        assert_eq!(cycles, 8);
+        assert_eq!(r.word(), sbst_isa::Instr::AluImm {
+            op: sbst_isa::AluOp::Add,
+            rd: Reg::R1,
+            rs1: Reg::R0,
+            imm: 0
+        }
+        .encode());
+    }
+
+    #[test]
+    fn sram_write_then_read() {
+        let mut b = bus(1);
+        b.request(0, BusRequest::write(SRAM_BASE + 8, 77));
+        run_to_response(&mut b, 0, 100);
+        b.request(0, BusRequest::read(SRAM_BASE + 8));
+        let (cycles, r) = run_to_response(&mut b, 0, 100);
+        assert_eq!(cycles, 4);
+        assert_eq!(r.word(), 77);
+    }
+
+    #[test]
+    fn swap_returns_old_value() {
+        let mut b = bus(1);
+        b.sram_mut().poke(SRAM_BASE, 5);
+        b.request(0, BusRequest::swap(SRAM_BASE, 9));
+        let (_, r) = run_to_response(&mut b, 0, 100);
+        assert_eq!(r.word(), 5);
+        assert_eq!(b.sram().peek(SRAM_BASE), 9);
+    }
+
+    #[test]
+    fn contention_serializes_and_round_robin_is_fair() {
+        let mut b = bus(3);
+        for p in 0..3 {
+            b.request(p, BusRequest::read(0x100 + 0x40 * p as u32));
+        }
+        let mut completion = vec![];
+        for cycle in 1..=100 {
+            b.step();
+            for p in 0..3 {
+                if b.response(p).is_some() {
+                    completion.push((p, cycle));
+                }
+            }
+            if completion.len() == 3 {
+                break;
+            }
+        }
+        assert_eq!(completion.len(), 3);
+        // Ports complete strictly one after another (serialized).
+        assert!(completion[0].1 < completion[1].1);
+        assert!(completion[1].1 < completion[2].1);
+        // Everyone eventually got served.
+        let served: Vec<usize> = completion.iter().map(|&(p, _)| p).collect();
+        let mut sorted = served.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        // Later ports accumulated wait cycles.
+        assert!(b.stats().wait_cycles.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn burst_read_returns_all_words() {
+        let mut b = bus(1);
+        b.request(0, BusRequest::read_burst(0x100, 4));
+        let (cycles, r) = run_to_response(&mut b, 0, 100);
+        assert_eq!(r.words().len(), 4);
+        assert!(cycles > 8, "burst costs more than a single beat");
+        for (i, w) in r.words().iter().enumerate() {
+            let d = sbst_isa::Instr::decode(*w).unwrap();
+            assert_eq!(
+                d,
+                sbst_isa::Instr::AluImm {
+                    op: sbst_isa::AluOp::Add,
+                    rd: Reg::R1,
+                    rs1: Reg::R0,
+                    imm: i as i16
+                }
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a request")]
+    fn double_request_panics() {
+        let mut b = bus(1);
+        b.request(0, BusRequest::read(0x100));
+        b.request(0, BusRequest::read(0x104));
+    }
+
+    #[test]
+    fn unmapped_read_returns_zero() {
+        let mut b = bus(1);
+        b.request(0, BusRequest::read(0xf000_0000));
+        let (_, r) = run_to_response(&mut b, 0, 10);
+        assert_eq!(r.word(), 0);
+    }
+
+    #[test]
+    fn port_busy_tracks_lifecycle() {
+        let mut b = bus(2);
+        assert!(!b.port_busy(0));
+        b.request(0, BusRequest::read(0x100));
+        assert!(b.port_busy(0));
+        let _ = run_to_response(&mut b, 0, 100);
+        assert!(!b.port_busy(0));
+    }
+}

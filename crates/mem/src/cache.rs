@@ -1,0 +1,361 @@
+//! Set-associative L1 caches.
+
+/// Write-miss policy of the data cache.
+///
+/// Both policies are write-through (no dirty lines, so `dcinv` never
+/// loses data). The paper's SoC supports both, configurable before use;
+/// with [`NoWriteAllocate`](WritePolicy::NoWriteAllocate) the cache-based
+/// self-test wrapper must add a *dummy load* after every store so the
+/// execution loop sees no write misses (paper §III.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// A write miss allocates the line (read-fill then merge).
+    WriteAllocate,
+    /// A write miss bypasses the cache entirely.
+    NoWriteAllocate,
+}
+
+/// Geometry and policy of one L1 cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (8..=32, power of two).
+    pub line_bytes: u32,
+    /// Write-miss policy (ignored for instruction caches).
+    pub policy: WritePolicy,
+}
+
+impl CacheConfig {
+    /// The paper's 8 KiB instruction cache.
+    pub fn icache_8k() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 8 * 1024,
+            ways: 2,
+            line_bytes: 32,
+            policy: WritePolicy::WriteAllocate,
+        }
+    }
+
+    /// The paper's 4 KiB data cache (write-allocate, as configured in the
+    /// experiments of §IV).
+    pub fn dcache_4k() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 4 * 1024,
+            ways: 2,
+            line_bytes: 32,
+            policy: WritePolicy::WriteAllocate,
+        }
+    }
+
+    /// Words per line.
+    pub fn line_words(self) -> u32 {
+        self.line_bytes / 4
+    }
+
+    /// Number of sets.
+    pub fn sets(self) -> u32 {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+
+    fn validate(self) {
+        assert!(self.line_bytes.is_power_of_two() && (8..=32).contains(&self.line_bytes));
+        assert!(self.ways >= 1 && self.size_bytes.is_multiple_of(self.line_bytes * self.ways));
+        assert!(self.sets().is_power_of_two());
+    }
+}
+
+/// Hit/miss counters of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read lookups that hit.
+    pub read_hits: u64,
+    /// Read lookups that missed.
+    pub read_misses: u64,
+    /// Write lookups that hit.
+    pub write_hits: u64,
+    /// Write lookups that missed.
+    pub write_misses: u64,
+    /// Whole-cache invalidations performed.
+    pub invalidations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    valid: bool,
+    tag: u32,
+    age: u32, // lower = more recently used
+    data: [u32; 8],
+}
+
+/// A set-associative, write-through L1 cache with true-LRU replacement.
+///
+/// The cache is a passive lookup structure: the core's fetch/memory units
+/// decide when to [`fill`](Cache::fill) on a miss (after fetching the
+/// line over the bus) and always forward writes to memory (write-through).
+///
+/// # Example
+///
+/// ```
+/// use sbst_mem::{Cache, CacheConfig};
+///
+/// let mut ic = Cache::new(CacheConfig::icache_8k());
+/// assert_eq!(ic.read(0x100), None); // cold miss
+/// ic.fill(0x100, &[7; 8]);
+/// assert_eq!(ic.read(0x104), Some(7)); // now hits anywhere in the line
+/// ic.invalidate_all();
+/// assert_eq!(ic.read(0x104), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>, // sets * ways, set-major
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (non-power-of-two
+    /// geometry, zero ways, line size outside 8..=32 bytes).
+    pub fn new(cfg: CacheConfig) -> Cache {
+        cfg.validate();
+        let n = (cfg.sets() * cfg.ways) as usize;
+        Cache {
+            cfg,
+            lines: vec![Line { valid: false, tag: 0, age: 0, data: [0; 8] }; n],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// This cache's configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// First byte address of the line containing `addr`.
+    pub fn line_base(&self, addr: u32) -> u32 {
+        addr & !(self.cfg.line_bytes - 1)
+    }
+
+    fn set_of(&self, addr: u32) -> u32 {
+        (addr / self.cfg.line_bytes) & (self.cfg.sets() - 1)
+    }
+
+    fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.cfg.line_bytes / self.cfg.sets()
+    }
+
+    fn way_range(&self, set: u32) -> std::ops::Range<usize> {
+        let start = (set * self.cfg.ways) as usize;
+        start..start + self.cfg.ways as usize
+    }
+
+    fn find(&self, addr: u32) -> Option<usize> {
+        let tag = self.tag_of(addr);
+        self.way_range(self.set_of(addr))
+            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+    }
+
+    fn touch(&mut self, idx: usize, set: u32) {
+        let old_age = self.lines[idx].age;
+        for i in self.way_range(set) {
+            if self.lines[i].age < old_age {
+                self.lines[i].age += 1;
+            }
+        }
+        self.lines[idx].age = 0;
+    }
+
+    /// Read lookup: word at `addr` on a hit, `None` on a miss.
+    ///
+    /// Updates LRU state and statistics.
+    pub fn read(&mut self, addr: u32) -> Option<u32> {
+        debug_assert_eq!(addr % 4, 0);
+        match self.find(addr) {
+            Some(idx) => {
+                self.stats.read_hits += 1;
+                let word = self.lines[idx].data
+                    [((addr % self.cfg.line_bytes) / 4) as usize];
+                self.touch(idx, self.set_of(addr));
+                Some(word)
+            }
+            None => {
+                self.stats.read_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Probe without updating LRU or statistics (harness/debug use).
+    pub fn probe(&self, addr: u32) -> Option<u32> {
+        self.find(addr)
+            .map(|idx| self.lines[idx].data[((addr % self.cfg.line_bytes) / 4) as usize])
+    }
+
+    /// Write lookup: updates the cached copy on a hit and returns `true`;
+    /// returns `false` on a miss (the caller always writes through to
+    /// memory, and decides allocation per the configured policy).
+    pub fn write(&mut self, addr: u32, value: u32) -> bool {
+        debug_assert_eq!(addr % 4, 0);
+        match self.find(addr) {
+            Some(idx) => {
+                self.stats.write_hits += 1;
+                self.lines[idx].data[((addr % self.cfg.line_bytes) / 4) as usize] = value;
+                self.touch(idx, self.set_of(addr));
+                true
+            }
+            None => {
+                self.stats.write_misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Installs the line containing `addr`, evicting the LRU way.
+    ///
+    /// `line` must hold exactly [`line_words`](CacheConfig::line_words)
+    /// words starting at [`line_base`](Cache::line_base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` has the wrong length.
+    pub fn fill(&mut self, addr: u32, line: &[u32]) {
+        assert_eq!(line.len() as u32, self.cfg.line_words(), "bad fill size");
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        // Reuse a matching or invalid way first, then the LRU way.
+        let idx = self
+            .way_range(set)
+            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+            .or_else(|| self.way_range(set).find(|&i| !self.lines[i].valid))
+            .unwrap_or_else(|| {
+                self.way_range(set)
+                    .max_by_key(|&i| self.lines[i].age)
+                    .expect("ways >= 1")
+            });
+        let l = &mut self.lines[idx];
+        l.valid = true;
+        l.tag = tag;
+        l.data[..line.len()].copy_from_slice(line);
+        self.touch(idx, set);
+    }
+
+    /// Invalidates every line (the wrapper's block *b* in Figure 2b).
+    pub fn invalidate_all(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+        }
+        self.stats.invalidations += 1;
+    }
+
+    /// Number of currently valid lines (harness/debug use).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Resets statistics (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 32B lines = 128 B.
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            line_bytes: 32,
+            policy: WritePolicy::WriteAllocate,
+        })
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut c = tiny();
+        assert_eq!(c.read(0x40), None);
+        c.fill(0x40, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(c.read(0x40), Some(1));
+        assert_eq!(c.read(0x5c), Some(8));
+        assert_eq!(c.stats().read_hits, 2);
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (line 32B, 2 sets => set = bit 5).
+        c.fill(0x000, &[0xa; 8]);
+        c.fill(0x080, &[0xb; 8]);
+        assert_eq!(c.read(0x000), Some(0xa)); // make 0x000 MRU
+        c.fill(0x100, &[0xc; 8]); // evicts 0x080 (LRU)
+        assert_eq!(c.probe(0x000), Some(0xa));
+        assert_eq!(c.probe(0x080), None);
+        assert_eq!(c.probe(0x100), Some(0xc));
+    }
+
+    #[test]
+    fn write_hit_updates_line() {
+        let mut c = tiny();
+        c.fill(0x40, &[0; 8]);
+        assert!(c.write(0x44, 9));
+        assert_eq!(c.read(0x44), Some(9));
+        assert!(!c.write(0x400, 1), "write miss");
+        assert_eq!(c.stats().write_misses, 1);
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut c = tiny();
+        c.fill(0x40, &[1; 8]);
+        assert_eq!(c.valid_lines(), 1);
+        c.invalidate_all();
+        assert_eq!(c.valid_lines(), 0);
+        assert_eq!(c.read(0x40), None);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn refill_same_tag_reuses_way() {
+        let mut c = tiny();
+        c.fill(0x40, &[1; 8]);
+        c.fill(0x40, &[2; 8]);
+        assert_eq!(c.valid_lines(), 1);
+        assert_eq!(c.probe(0x40), Some(2));
+    }
+
+    #[test]
+    fn paper_geometries() {
+        let ic = Cache::new(CacheConfig::icache_8k());
+        assert_eq!(ic.config().sets(), 128);
+        let dc = Cache::new(CacheConfig::dcache_4k());
+        assert_eq!(dc.config().sets(), 64);
+    }
+
+    #[test]
+    fn line_base() {
+        let c = tiny();
+        assert_eq!(c.line_base(0x47), 0x40);
+        assert_eq!(c.line_base(0x40), 0x40);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad fill size")]
+    fn fill_wrong_len_panics() {
+        let mut c = tiny();
+        c.fill(0, &[1, 2, 3]);
+    }
+}

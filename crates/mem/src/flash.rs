@@ -1,0 +1,262 @@
+//! Flash memory and its controller (with a prefetch row buffer).
+
+use std::sync::Arc;
+
+use sbst_isa::Program;
+
+use crate::map::{FLASH_BASE, FLASH_SIZE};
+
+/// Value returned for erased (never programmed) Flash words.
+///
+/// `0xffff_ffff` does not decode as a valid instruction, so a core that
+/// runs off the end of its program traps with an illegal-instruction
+/// cause instead of silently executing garbage.
+pub const ERASED: u32 = 0xffff_ffff;
+
+/// An immutable Flash image shared (via [`Arc`]) by every simulation run
+/// of a fault campaign — the image is read-only at runtime, so thousands
+/// of parallel fault simulations can share one copy.
+#[derive(Debug, Clone, Default)]
+pub struct FlashImage {
+    // Sparse storage: (word index, value), sorted. Images are small
+    // compared to the 8 MiB region, so a sorted vec + binary search wins.
+    words: Vec<(u32, u32)>,
+}
+
+impl FlashImage {
+    /// Creates an empty (fully erased) image.
+    pub fn new() -> FlashImage {
+        FlashImage::default()
+    }
+
+    /// Writes `program` into the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program falls outside the Flash region or overlaps a
+    /// previously loaded program.
+    pub fn load(&mut self, program: &Program) {
+        assert!(
+            (FLASH_BASE..=FLASH_BASE + FLASH_SIZE).contains(&program.base())
+                && program.end() <= FLASH_BASE + FLASH_SIZE,
+            "program [{:#x}..{:#x}) outside flash",
+            program.base(),
+            program.end()
+        );
+        for (i, &w) in program.words().iter().enumerate() {
+            let idx = (program.base() - FLASH_BASE) / 4 + i as u32;
+            match self.words.binary_search_by_key(&idx, |&(k, _)| k) {
+                Ok(_) => panic!(
+                    "flash overlap at {:#x} while loading program based at {:#x}",
+                    FLASH_BASE + idx * 4,
+                    program.base()
+                ),
+                Err(pos) => self.words.insert(pos, (idx, w)),
+            }
+        }
+    }
+
+    /// Word at byte address `addr` (erased pattern if never programmed).
+    pub fn word_at(&self, addr: u32) -> u32 {
+        debug_assert_eq!(addr % 4, 0);
+        let idx = (addr - FLASH_BASE) / 4;
+        match self.words.binary_search_by_key(&idx, |&(k, _)| k) {
+            Ok(pos) => self.words[pos].1,
+            Err(_) => ERASED,
+        }
+    }
+
+    /// Freezes the image for sharing between simulation runs.
+    pub fn freeze(self) -> Arc<FlashImage> {
+        Arc::new(self)
+    }
+
+    /// Number of programmed words.
+    pub fn programmed_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+/// Timing configuration of the Flash controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashTiming {
+    /// Cycles for an access that misses every prefetch row buffer.
+    ///
+    /// The paper reports 8 cycles to fetch an issue packet from Flash.
+    pub access_cycles: u32,
+    /// Cycles for an access that hits a prefetch row buffer.
+    pub row_hit_cycles: u32,
+    /// Row buffer width in bytes (power of two, ≥ 8).
+    pub row_bytes: u32,
+    /// Number of row buffers (LRU-managed): with several buffers each
+    /// master's sequential fetch stream keeps its own row warm despite
+    /// interleaved traffic from the other cores.
+    pub row_buffers: usize,
+}
+
+impl Default for FlashTiming {
+    fn default() -> FlashTiming {
+        FlashTiming { access_cycles: 8, row_hit_cycles: 2, row_bytes: 16, row_buffers: 8 }
+    }
+}
+
+/// The Flash controller: wraps the shared image with a single prefetch
+/// row buffer.
+///
+/// The row buffer is what makes *code position and alignment* matter:
+/// requests falling in the most recently fetched row are fast, and where
+/// row boundaries fall relative to issue packets depends on the program's
+/// base address and alignment — one of the paper's sources of
+/// scenario-dependent variability. Because the buffer is shared by all
+/// cores, interleaved multi-core fetch streams thrash it.
+#[derive(Debug, Clone)]
+pub struct FlashCtl {
+    image: Arc<FlashImage>,
+    timing: FlashTiming,
+    /// LRU row stack, most recently used first.
+    rows: Vec<u32>,
+    accesses: u64,
+    row_hits: u64,
+}
+
+impl FlashCtl {
+    /// Creates a controller over a frozen image.
+    pub fn new(image: Arc<FlashImage>, timing: FlashTiming) -> FlashCtl {
+        assert!(timing.row_bytes.is_power_of_two() && timing.row_bytes >= 8);
+        assert!(timing.row_buffers >= 1);
+        FlashCtl { image, timing, rows: Vec::new(), accesses: 0, row_hits: 0 }
+    }
+
+    /// Latency in cycles of a read at `addr`, updating the row buffers.
+    pub fn access(&mut self, addr: u32) -> u32 {
+        self.accesses += 1;
+        let row = addr / self.timing.row_bytes;
+        if let Some(pos) = self.rows.iter().position(|&r| r == row) {
+            self.rows.remove(pos);
+            self.rows.insert(0, row);
+            self.row_hits += 1;
+            // Keep the sequential prefetch ahead of a streaming reader.
+            if !self.rows.contains(&(row + 1)) {
+                self.rows.insert(1, row + 1);
+                self.rows.truncate(self.timing.row_buffers);
+            }
+            self.timing.row_hit_cycles
+        } else {
+            // Miss: the array access also prefetches the next sequential
+            // row into a second buffer (automotive flash accelerators
+            // stream sequential code).
+            self.rows.insert(0, row);
+            self.rows.insert(1, row + 1);
+            self.rows.truncate(self.timing.row_buffers);
+            self.timing.access_cycles
+        }
+    }
+
+    /// Word at `addr` (combinational data path; latency accounted by
+    /// [`access`](FlashCtl::access)).
+    pub fn word_at(&self, addr: u32) -> u32 {
+        self.image.word_at(addr)
+    }
+
+    /// Timing configuration.
+    pub fn timing(&self) -> FlashTiming {
+        self.timing
+    }
+
+    /// `(total accesses, row-buffer hits)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.accesses, self.row_hits)
+    }
+
+    /// Clears the row buffers (e.g. at SoC reset).
+    pub fn reset(&mut self) {
+        self.rows.clear();
+        self.accesses = 0;
+        self.row_hits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_isa::{Asm, Reg};
+
+    fn program_at(base: u32) -> Program {
+        let mut a = Asm::new();
+        a.addi(Reg::R1, Reg::R0, 42);
+        a.halt();
+        a.assemble(base).unwrap()
+    }
+
+    #[test]
+    fn image_load_and_read() {
+        let mut img = FlashImage::new();
+        let p = program_at(0x1000);
+        img.load(&p);
+        assert_eq!(img.word_at(0x1000), p.words()[0]);
+        assert_eq!(img.word_at(0x1004), p.words()[1]);
+        assert_eq!(img.word_at(0x0ffc), ERASED);
+        assert_eq!(img.programmed_words(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_programs_panic() {
+        let mut img = FlashImage::new();
+        img.load(&program_at(0x1000));
+        img.load(&program_at(0x1004));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside flash")]
+    fn out_of_region_panics() {
+        let mut img = FlashImage::new();
+        img.load(&program_at(0x2000_0000));
+    }
+
+    #[test]
+    fn row_buffer_hits_within_row() {
+        let img = FlashImage::new().freeze();
+        let mut ctl = FlashCtl::new(img, FlashTiming::default());
+        assert_eq!(ctl.access(0x100), 8, "cold access");
+        assert_eq!(ctl.access(0x104), 2, "same 16-byte row");
+        assert_eq!(ctl.access(0x10c), 2, "same row");
+        assert_eq!(ctl.access(0x110), 2, "next row was prefetched");
+        assert_eq!(ctl.access(0x100), 2, "old row still in an LRU buffer");
+        assert_eq!(ctl.stats(), (5, 4));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_row() {
+        let img = FlashImage::new().freeze();
+        let mut ctl = FlashCtl::new(
+            img,
+            FlashTiming { row_buffers: 2, ..FlashTiming::default() },
+        );
+        assert_eq!(ctl.access(0x000), 8); // rows {0, 1}
+        assert_eq!(ctl.access(0x100), 8); // rows {16, 17}
+        assert_eq!(ctl.access(0x000), 8, "evicted by the 0x100 stream");
+        assert_eq!(ctl.access(0x010), 2, "prefetched row 1 survives");
+    }
+
+    #[test]
+    fn interleaved_streams_keep_their_rows() {
+        // The multi-master scenario: two sequential fetch streams
+        // interleave; with >= 2 buffers both keep hitting.
+        let img = FlashImage::new().freeze();
+        let mut ctl = FlashCtl::new(img, FlashTiming::default());
+        ctl.access(0x1000);
+        ctl.access(0x8000);
+        assert_eq!(ctl.access(0x1004), 2);
+        assert_eq!(ctl.access(0x8004), 2);
+    }
+
+    #[test]
+    fn reset_clears_row() {
+        let img = FlashImage::new().freeze();
+        let mut ctl = FlashCtl::new(img, FlashTiming::default());
+        ctl.access(0x100);
+        ctl.reset();
+        assert_eq!(ctl.access(0x104), 8);
+    }
+}

@@ -1,0 +1,124 @@
+//! The SoC address map.
+//!
+//! ```text
+//! 0x0000_0000 .. 0x0080_0000   Flash (code + rodata), shared, via bus
+//! 0x1000_0000 .. +16 KiB       Instruction TCM, core-private, 1 cycle
+//! 0x1800_0000 .. +16 KiB       Data TCM, core-private, 1 cycle
+//! 0x2000_0000 .. +64 KiB       System SRAM, shared, via bus
+//! ```
+//!
+//! Code-position scenarios place test programs at "low", "mid" and "high"
+//! Flash addresses (paper §IV-C).
+
+/// Base address of the Flash region.
+pub const FLASH_BASE: u32 = 0x0000_0000;
+/// Size of the Flash region in bytes.
+pub const FLASH_SIZE: u32 = 0x0080_0000;
+/// Base address of the per-core instruction TCM.
+pub const ITCM_BASE: u32 = 0x1000_0000;
+/// Base address of the per-core data TCM.
+pub const DTCM_BASE: u32 = 0x1800_0000;
+/// Size of each TCM in bytes.
+pub const TCM_SIZE: u32 = 16 * 1024;
+/// Base address of the shared system SRAM.
+pub const SRAM_BASE: u32 = 0x2000_0000;
+/// Size of the shared system SRAM in bytes.
+pub const SRAM_SIZE: u32 = 64 * 1024;
+/// Base address of the memory-mapped peripherals (watchdog).
+pub const MMIO_BASE: u32 = 0x4000_0000;
+/// Size of the peripheral window in bytes.
+pub const MMIO_SIZE: u32 = 0x1000;
+
+/// "Low" Flash code position used by scenario sweeps.
+pub const FLASH_LOW: u32 = 0x0000_0400;
+/// "Mid" Flash code position.
+pub const FLASH_MID: u32 = 0x0040_0000;
+/// "High" Flash code position.
+pub const FLASH_HIGH: u32 = 0x007c_0000;
+
+/// The memory region an address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Shared Flash (via the system bus).
+    Flash,
+    /// Core-private instruction TCM.
+    Itcm,
+    /// Core-private data TCM.
+    Dtcm,
+    /// Shared system SRAM (via the system bus).
+    Sram,
+    /// Memory-mapped peripherals — the watchdog (via the system bus).
+    Mmio,
+    /// No device responds at this address.
+    Unmapped,
+}
+
+impl Region {
+    /// Region for a byte address.
+    pub fn of(addr: u32) -> Region {
+        if (FLASH_BASE..FLASH_BASE + FLASH_SIZE).contains(&addr) {
+            Region::Flash
+        } else if (ITCM_BASE..ITCM_BASE + TCM_SIZE).contains(&addr) {
+            Region::Itcm
+        } else if (DTCM_BASE..DTCM_BASE + TCM_SIZE).contains(&addr) {
+            Region::Dtcm
+        } else if (SRAM_BASE..SRAM_BASE + SRAM_SIZE).contains(&addr) {
+            Region::Sram
+        } else if (MMIO_BASE..MMIO_BASE + MMIO_SIZE).contains(&addr) {
+            Region::Mmio
+        } else {
+            Region::Unmapped
+        }
+    }
+
+    /// Whether accesses to this region go over the shared system bus.
+    pub fn is_shared(self) -> bool {
+        matches!(self, Region::Flash | Region::Sram | Region::Mmio)
+    }
+
+    /// Whether the region is core-private (TCMs).
+    pub fn is_private(self) -> bool {
+        matches!(self, Region::Itcm | Region::Dtcm)
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Region::Flash => "flash",
+            Region::Itcm => "itcm",
+            Region::Dtcm => "dtcm",
+            Region::Sram => "sram",
+            Region::Mmio => "mmio",
+            Region::Unmapped => "unmapped",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_classification() {
+        assert_eq!(Region::of(0), Region::Flash);
+        assert_eq!(Region::of(FLASH_HIGH), Region::Flash);
+        assert_eq!(Region::of(ITCM_BASE), Region::Itcm);
+        assert_eq!(Region::of(ITCM_BASE + TCM_SIZE - 4), Region::Itcm);
+        assert_eq!(Region::of(ITCM_BASE + TCM_SIZE), Region::Unmapped);
+        assert_eq!(Region::of(DTCM_BASE), Region::Dtcm);
+        assert_eq!(Region::of(SRAM_BASE), Region::Sram);
+        assert_eq!(Region::of(MMIO_BASE), Region::Mmio);
+        assert_eq!(Region::of(MMIO_BASE + MMIO_SIZE), Region::Unmapped);
+        assert_eq!(Region::of(0xf000_0000), Region::Unmapped);
+    }
+
+    #[test]
+    fn sharing() {
+        assert!(Region::Flash.is_shared());
+        assert!(Region::Sram.is_shared());
+        assert!(Region::Itcm.is_private());
+        assert!(!Region::Itcm.is_shared());
+    }
+}

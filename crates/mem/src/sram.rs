@@ -1,0 +1,85 @@
+//! Shared system SRAM.
+
+use crate::map::{SRAM_BASE, SRAM_SIZE};
+
+/// The shared on-chip SRAM behind the system bus.
+///
+/// Holds the STL's shared data (signature mailboxes, scheduler locks).
+/// Word-addressed; the harness can [`poke`](Sram::poke)/[`peek`](Sram::peek)
+/// directly to initialize data and read back results without consuming
+/// bus cycles.
+#[derive(Debug, Clone)]
+pub struct Sram {
+    words: Vec<u32>,
+    access_cycles: u32,
+}
+
+impl Default for Sram {
+    fn default() -> Sram {
+        Sram::new(4)
+    }
+}
+
+impl Sram {
+    /// Creates a zeroed SRAM with the given access latency in cycles.
+    pub fn new(access_cycles: u32) -> Sram {
+        Sram { words: vec![0; (SRAM_SIZE / 4) as usize], access_cycles }
+    }
+
+    /// Access latency in cycles.
+    pub fn access_cycles(&self) -> u32 {
+        self.access_cycles
+    }
+
+    fn index(addr: u32) -> Option<usize> {
+        if !(SRAM_BASE..SRAM_BASE + SRAM_SIZE).contains(&addr) || !addr.is_multiple_of(4) {
+            return None;
+        }
+        Some(((addr - SRAM_BASE) / 4) as usize)
+    }
+
+    /// Word at `addr` (0 for out-of-range reads, mirroring a bus that
+    /// returns zeros for unmapped slaves).
+    pub fn read(&self, addr: u32) -> u32 {
+        Sram::index(addr).map_or(0, |i| self.words[i])
+    }
+
+    /// Writes `value` at `addr` (out-of-range writes are dropped).
+    pub fn write(&mut self, addr: u32, value: u32) {
+        if let Some(i) = Sram::index(addr) {
+            self.words[i] = value;
+        }
+    }
+
+    /// Harness-side direct write (no bus traffic).
+    pub fn poke(&mut self, addr: u32, value: u32) {
+        self.write(addr, value);
+    }
+
+    /// Harness-side direct read (no bus traffic).
+    pub fn peek(&self, addr: u32) -> u32 {
+        self.read(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut s = Sram::default();
+        s.write(SRAM_BASE + 0x40, 0xdead_beef);
+        assert_eq!(s.read(SRAM_BASE + 0x40), 0xdead_beef);
+        assert_eq!(s.read(SRAM_BASE), 0);
+    }
+
+    #[test]
+    fn out_of_range_is_benign() {
+        let mut s = Sram::default();
+        s.write(0x0, 1); // flash region, not sram
+        assert_eq!(s.read(0x0), 0);
+        s.write(SRAM_BASE + SRAM_SIZE, 7);
+        assert_eq!(s.read(SRAM_BASE + SRAM_SIZE), 0);
+    }
+}

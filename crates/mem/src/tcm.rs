@@ -1,0 +1,86 @@
+//! Tightly-Coupled Memories (scratchpads).
+
+use crate::map::TCM_SIZE;
+
+/// A core-private Tightly-Coupled Memory (instruction or data).
+///
+/// TCMs are single-cycle SRAM banks local to each core; unlike caches
+/// there is no miss/hit concept — software must explicitly copy code or
+/// data into them before use (the paper's comparison baseline for the
+/// cache-based strategy, Table IV).
+#[derive(Debug, Clone)]
+pub struct Tcm {
+    base: u32,
+    words: Vec<u32>,
+}
+
+impl Tcm {
+    /// Creates a zeroed TCM mapped at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word aligned.
+    pub fn new(base: u32) -> Tcm {
+        assert_eq!(base % 4, 0);
+        Tcm { base, words: vec![0; (TCM_SIZE / 4) as usize] }
+    }
+
+    /// Base address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Capacity in bytes.
+    pub fn size(&self) -> u32 {
+        TCM_SIZE
+    }
+
+    /// Whether `addr` falls inside this TCM.
+    pub fn contains(&self, addr: u32) -> bool {
+        (self.base..self.base + TCM_SIZE).contains(&addr)
+    }
+
+    /// Word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the TCM or unaligned (the core checks
+    /// alignment and mapping before dispatching here).
+    pub fn read(&self, addr: u32) -> u32 {
+        assert!(self.contains(addr) && addr.is_multiple_of(4), "bad TCM read {addr:#x}");
+        self.words[((addr - self.base) / 4) as usize]
+    }
+
+    /// Writes `value` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`read`](Tcm::read).
+    pub fn write(&mut self, addr: u32, value: u32) {
+        assert!(self.contains(addr) && addr.is_multiple_of(4), "bad TCM write {addr:#x}");
+        self.words[((addr - self.base) / 4) as usize] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::ITCM_BASE;
+
+    #[test]
+    fn read_write() {
+        let mut t = Tcm::new(ITCM_BASE);
+        t.write(ITCM_BASE + 8, 0x1234_5678);
+        assert_eq!(t.read(ITCM_BASE + 8), 0x1234_5678);
+        assert_eq!(t.read(ITCM_BASE), 0);
+        assert!(t.contains(ITCM_BASE + TCM_SIZE - 4));
+        assert!(!t.contains(ITCM_BASE + TCM_SIZE));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad TCM read")]
+    fn out_of_range_read_panics() {
+        let t = Tcm::new(ITCM_BASE);
+        let _ = t.read(ITCM_BASE + TCM_SIZE);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests of the memory subsystem against simple reference
+//! models: cache reads are never stale, the bus loses no transactions,
+//! serves ports fairly and keeps per-port data consistent.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sbst_mem::{
+    Bus, BusRequest, Cache, CacheConfig, FlashCtl, FlashImage, FlashTiming, Sram, WritePolicy,
+    SRAM_BASE,
+};
+
+// ---------------------------------------------------------------------
+// Cache soundness
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Fill(u16),
+    Read(u16),
+    Write(u16, u32),
+    InvalidateAll,
+}
+
+fn arb_cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u16..512).prop_map(CacheOp::Fill),
+        (0u16..512).prop_map(CacheOp::Read),
+        ((0u16..512), any::<u32>()).prop_map(|(a, v)| CacheOp::Write(a, v)),
+        Just(CacheOp::InvalidateAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whenever a read hits, it returns the latest value established for
+    /// that address (by a line fill from backing memory or a write hit),
+    /// and write hits keep the cache coherent with write-through memory.
+    #[test]
+    fn cache_reads_are_never_stale(ops in prop::collection::vec(arb_cache_op(), 1..200)) {
+        let cfg = CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 16,
+            policy: WritePolicy::WriteAllocate,
+        };
+        let mut cache = Cache::new(cfg);
+        // Backing memory (what a fill would fetch) + write-through mirror.
+        let mut memory: HashMap<u32, u32> = HashMap::new();
+        let word = |m: &HashMap<u32, u32>, addr: u32| m.get(&addr).copied().unwrap_or(0);
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                CacheOp::Fill(a) => {
+                    let addr = (a as u32) * 4;
+                    let base = cache.line_base(addr);
+                    let line: Vec<u32> =
+                        (0..cfg.line_words()).map(|w| word(&memory, base + w * 4)).collect();
+                    cache.fill(addr, &line);
+                }
+                CacheOp::Read(a) => {
+                    let addr = (a as u32) * 4;
+                    if let Some(v) = cache.read(addr) {
+                        prop_assert_eq!(
+                            v, word(&memory, addr),
+                            "stale read at {:#x} after {} ops", addr, i
+                        );
+                    }
+                }
+                CacheOp::Write(a, v) => {
+                    let addr = (a as u32) * 4;
+                    // Write-through: memory always updated; cache updated
+                    // only on hit (the LSU handles allocation policy).
+                    cache.write(addr, v);
+                    memory.insert(addr, v);
+                }
+                CacheOp::InvalidateAll => cache.invalidate_all(),
+            }
+            prop_assert!(
+                cache.valid_lines() <= (cfg.sets() * cfg.ways) as usize,
+                "more valid lines than the geometry allows"
+            );
+        }
+    }
+
+    /// After invalidation every read misses until a fill re-establishes
+    /// the line.
+    #[test]
+    fn invalidate_means_miss(addrs in prop::collection::vec(0u16..512, 1..50)) {
+        let mut cache = Cache::new(CacheConfig::dcache_4k());
+        for &a in &addrs {
+            let addr = (a as u32) * 4;
+            cache.fill(addr, &[7; 8]);
+        }
+        cache.invalidate_all();
+        for &a in &addrs {
+            prop_assert_eq!(cache.read((a as u32) * 4), None);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bus properties
+// ---------------------------------------------------------------------
+
+fn empty_bus(ports: usize) -> Bus {
+    Bus::new(
+        FlashCtl::new(FlashImage::new().freeze(), FlashTiming::default()),
+        Sram::default(),
+        ports,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Three ports hammer disjoint SRAM ranges with random read/write
+    /// streams: every transaction completes, every read sees that port's
+    /// own last write, and round-robin keeps completion counts balanced.
+    #[test]
+    fn bus_is_lossless_consistent_and_fair(
+        streams in prop::collection::vec(
+            prop::collection::vec((any::<bool>(), 0u16..64, any::<u32>()), 10..60),
+            3..=3
+        )
+    ) {
+        let mut bus = empty_bus(3);
+        let mut mirrors: Vec<HashMap<u32, u32>> = vec![HashMap::new(); 3];
+        let mut cursors = [0usize; 3];
+        let mut inflight: [Option<(bool, u32, u32)>; 3] = [None; 3];
+        let mut completed = [0usize; 3];
+        let total: usize = streams.iter().map(Vec::len).sum();
+        let mut guard = 0;
+        while completed.iter().sum::<usize>() < total {
+            guard += 1;
+            prop_assert!(guard < 100_000, "bus starved: {completed:?} of {total}");
+            for p in 0..3 {
+                if let Some(resp) = bus.response(p) {
+                    let (is_read, addr, _val) = inflight[p].take().expect("tracked");
+                    if is_read {
+                        let expect = mirrors[p].get(&addr).copied().unwrap_or(0);
+                        prop_assert_eq!(resp.word(), expect, "port {} read {:#x}", p, addr);
+                    }
+                    completed[p] += 1;
+                }
+                if inflight[p].is_none() && cursors[p] < streams[p].len() {
+                    let (is_read, slot, val) = streams[p][cursors[p]];
+                    cursors[p] += 1;
+                    // Disjoint 1 KiB range per port.
+                    let addr = SRAM_BASE + (p as u32) * 0x400 + (slot as u32) * 4;
+                    if is_read {
+                        bus.request(p, BusRequest::read(addr));
+                    } else {
+                        bus.request(p, BusRequest::write(addr, val));
+                        mirrors[p].insert(addr, val);
+                    }
+                    inflight[p] = Some((is_read, addr, val));
+                }
+            }
+            bus.step();
+        }
+        // Everything drained.
+        prop_assert_eq!(completed.iter().sum::<usize>(), total);
+    }
+
+    /// With identical continuous demand, round-robin arbitration serves
+    /// the ports within one transaction of each other.
+    #[test]
+    fn round_robin_is_fair_under_saturation(cycles in 200u32..800) {
+        let mut bus = empty_bus(3);
+        let mut served = [0u32; 3];
+        for _ in 0..cycles {
+            for p in 0..3 {
+                if bus.response(p).is_some() {
+                    served[p] += 1;
+                }
+                if !bus.port_busy(p) {
+                    bus.request(p, BusRequest::read(SRAM_BASE + p as u32 * 64));
+                }
+            }
+            bus.step();
+        }
+        let max = *served.iter().max().unwrap();
+        let min = *served.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "unfair service: {served:?}");
+    }
+}

@@ -1,0 +1,58 @@
+//! The watchdog as a bus slave: programmed and kicked through real bus
+//! transactions, ticking with bus time.
+
+use sbst_mem::{
+    Bus, BusRequest, FlashCtl, FlashImage, FlashTiming, Sram, MMIO_BASE, WDG_KICK, WDG_LOAD,
+    WDG_STATUS,
+};
+
+fn bus() -> Bus {
+    Bus::new(
+        FlashCtl::new(FlashImage::new().freeze(), FlashTiming::default()),
+        Sram::default(),
+        1,
+    )
+}
+
+fn transact(bus: &mut Bus, req: BusRequest) -> u32 {
+    bus.request(0, req);
+    for _ in 0..100 {
+        bus.step();
+        if let Some(r) = bus.response(0) {
+            return r.word();
+        }
+    }
+    panic!("no response");
+}
+
+#[test]
+fn program_kick_and_bite_over_the_bus() {
+    let mut b = bus();
+    transact(&mut b, BusRequest::write(MMIO_BASE + WDG_LOAD, 40));
+    assert!(b.watchdog().enabled());
+    assert_eq!(transact(&mut b, BusRequest::read(MMIO_BASE + WDG_LOAD)), 40);
+    // Kick a few times: stays quiet.
+    for _ in 0..5 {
+        transact(&mut b, BusRequest::write(MMIO_BASE + WDG_KICK, 0));
+    }
+    assert_eq!(transact(&mut b, BusRequest::read(MMIO_BASE + WDG_STATUS)), 0);
+    // Stop kicking: the countdown elapses while the bus idles.
+    for _ in 0..60 {
+        b.step();
+    }
+    assert!(b.watchdog().bitten());
+    assert_eq!(transact(&mut b, BusRequest::read(MMIO_BASE + WDG_STATUS)), 1);
+    // Clear.
+    transact(&mut b, BusRequest::write(MMIO_BASE + WDG_STATUS, 1));
+    assert!(!b.watchdog().bitten());
+}
+
+#[test]
+fn unprogrammed_watchdog_never_interferes() {
+    let mut b = bus();
+    for _ in 0..10_000 {
+        b.step();
+    }
+    assert!(!b.watchdog().bitten());
+    assert!(!b.watchdog().enabled());
+}

@@ -1,0 +1,168 @@
+//! Execution scenarios: the paper's experimental axes.
+//!
+//! Table II varies, per logic simulation: the number of active cores,
+//! the position of the test code in Flash (low/mid/high addresses), the
+//! code alignment (word / double-word / double double-word) and the
+//! initial SoC configuration (modeled as per-core start-phase skew).
+
+use sbst_mem::{FLASH_HIGH, FLASH_LOW, FLASH_MID};
+
+/// Where the test program sits in Flash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodePosition {
+    /// Low Flash addresses.
+    Low,
+    /// Middle of the Flash array.
+    Mid,
+    /// High Flash addresses.
+    High,
+}
+
+impl CodePosition {
+    /// All positions.
+    pub const ALL: [CodePosition; 3] = [CodePosition::Low, CodePosition::Mid, CodePosition::High];
+
+    /// Base Flash address of this position.
+    pub fn base(self) -> u32 {
+        match self {
+            CodePosition::Low => FLASH_LOW,
+            CodePosition::Mid => FLASH_MID,
+            CodePosition::High => FLASH_HIGH,
+        }
+    }
+}
+
+/// Code alignment option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Alignment {
+    /// Word aligned (4 bytes): program starts mid fetch-group.
+    Word,
+    /// Double-word aligned (8 bytes): on a fetch-group boundary.
+    Double,
+    /// Double double-word aligned (16 bytes): on a Flash-row boundary.
+    Quad,
+}
+
+impl Alignment {
+    /// All alignments.
+    pub const ALL: [Alignment; 3] = [Alignment::Word, Alignment::Double, Alignment::Quad];
+
+    /// Applies the alignment to a base address: the result is the
+    /// smallest address `>= base` with the requested residue.
+    pub fn apply(self, base: u32) -> u32 {
+        match self {
+            // 4 mod 8: the first packet is single-wide.
+            Alignment::Word => (base & !7) + 4,
+            Alignment::Double => (base + 7) & !7,
+            Alignment::Quad => (base + 15) & !15,
+        }
+    }
+}
+
+/// One execution scenario of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// Number of active cores (1..=3); cores `0..active_cores` run.
+    pub active_cores: usize,
+    /// Code position in Flash.
+    pub position: CodePosition,
+    /// Code alignment.
+    pub alignment: Alignment,
+    /// Seed for the per-core start-phase skew (the "initial SoC
+    /// configuration" the paper says makes stall counts unpredictable).
+    pub skew_seed: u64,
+}
+
+impl Scenario {
+    /// The baseline single-core scenario.
+    pub fn single_core() -> Scenario {
+        Scenario {
+            active_cores: 1,
+            position: CodePosition::Low,
+            alignment: Alignment::Double,
+            skew_seed: 0,
+        }
+    }
+
+    /// Base address for the program of `core`, spacing cores 64 KiB
+    /// apart and applying the alignment option.
+    pub fn code_base(&self, core: usize) -> u32 {
+        self.alignment.apply(self.position.base() + (core as u32) * 0x1_0000)
+    }
+
+    /// Deterministic per-core start delays derived from `skew_seed`.
+    pub fn start_delays(&self) -> [u32; 3] {
+        let mut x = self.skew_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut out = [0u32; 3];
+        for (i, d) in out.iter_mut().enumerate() {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            // Skews up to ~2 flash accesses shift the bus interleaving.
+            *d = if i == 0 { 0 } else { (x % 23) as u32 };
+        }
+        out
+    }
+
+    /// The multi-core sweep of Table II: {2,3 active cores} x positions
+    /// x alignments x `skews` phase seeds. The seed axis is outermost so
+    /// that any evenly strided subsample still spans every axis.
+    pub fn table2_sweep(skews: u64) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for skew_seed in 0..skews {
+            for active_cores in [2usize, 3] {
+                for position in CodePosition::ALL {
+                    for alignment in Alignment::ALL {
+                        out.push(Scenario { active_cores, position, alignment, skew_seed });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}c/{:?}/{:?}/s{}",
+            self.active_cores, self.position, self.alignment, self.skew_seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_residues() {
+        assert_eq!(Alignment::Word.apply(0x400) % 8, 4);
+        assert_eq!(Alignment::Double.apply(0x404) % 8, 0);
+        assert_eq!(Alignment::Quad.apply(0x404) % 16, 0);
+        assert!(Alignment::Quad.apply(0x400) >= 0x400);
+    }
+
+    #[test]
+    fn sweep_size() {
+        assert_eq!(Scenario::table2_sweep(2).len(), 2 * 3 * 3 * 2);
+    }
+
+    #[test]
+    fn delays_are_deterministic_and_core0_starts_first() {
+        let s = Scenario { skew_seed: 7, ..Scenario::single_core() };
+        assert_eq!(s.start_delays(), s.start_delays());
+        assert_eq!(s.start_delays()[0], 0);
+        let t = Scenario { skew_seed: 8, ..s };
+        assert_ne!(s.start_delays(), t.start_delays());
+    }
+
+    #[test]
+    fn code_bases_do_not_collide_across_cores() {
+        let s = Scenario { active_cores: 3, ..Scenario::single_core() };
+        let bases: Vec<u32> = (0..3).map(|c| s.code_base(c)).collect();
+        assert!(bases[1] - bases[0] >= 0x8000);
+        assert!(bases[2] - bases[1] >= 0x8000);
+    }
+}

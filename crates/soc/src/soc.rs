@@ -1,0 +1,216 @@
+//! The SoC: cores, shared bus, run loop.
+
+use std::sync::Arc;
+
+use sbst_cpu::{Core, CoreConfig};
+use sbst_isa::Program;
+use sbst_mem::{Bus, FlashCtl, FlashImage, FlashTiming, Sram};
+
+/// Why [`Soc::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every active core halted cleanly after this many cycles.
+    AllHalted {
+        /// Total cycles simulated.
+        cycles: u64,
+    },
+    /// A core recognised a trap with no handler installed.
+    FatalTrap {
+        /// Which core died.
+        core: usize,
+        /// Cycle at which simulation stopped.
+        cycles: u64,
+    },
+    /// The cycle budget ran out (the in-field watchdog case).
+    Watchdog,
+}
+
+impl RunOutcome {
+    /// Whether every core halted cleanly.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, RunOutcome::AllHalted { .. })
+    }
+}
+
+/// Builder for a [`Soc`].
+///
+/// # Example
+///
+/// ```
+/// use sbst_cpu::{CoreConfig, CoreKind};
+/// use sbst_isa::{Asm, Reg};
+/// use sbst_soc::SocBuilder;
+///
+/// # fn main() -> Result<(), sbst_isa::AsmError> {
+/// let mut a = Asm::new();
+/// a.li(Reg::R1, 7);
+/// a.halt();
+/// let program = a.assemble(0x100)?;
+///
+/// let mut soc = SocBuilder::new()
+///     .load(&program)
+///     .core(CoreConfig::cached(CoreKind::A, 0, 0x100), 0)
+///     .build();
+/// let outcome = soc.run(10_000);
+/// assert!(outcome.is_clean());
+/// assert_eq!(soc.core(0).reg(Reg::R1), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SocBuilder {
+    flash: FlashImage,
+    timing: FlashTiming,
+    sram_latency: u32,
+    cores: Vec<(CoreConfig, u32)>,
+}
+
+impl SocBuilder {
+    /// Starts an empty SoC description (default Flash/SRAM timing).
+    pub fn new() -> SocBuilder {
+        SocBuilder { sram_latency: 4, ..SocBuilder::default() }
+    }
+
+    /// Loads a program image into Flash.
+    ///
+    /// # Panics
+    ///
+    /// Panics on image overlap (see [`FlashImage::load`]).
+    pub fn load(mut self, program: &Program) -> SocBuilder {
+        self.flash.load(program);
+        self
+    }
+
+    /// Overrides the Flash timing.
+    pub fn flash_timing(mut self, timing: FlashTiming) -> SocBuilder {
+        self.timing = timing;
+        self
+    }
+
+    /// Adds a core that starts stepping after `start_delay` cycles (the
+    /// phase-skew scenario axis: the paper notes stall counts vary with
+    /// the initial SoC configuration).
+    pub fn core(mut self, cfg: CoreConfig, start_delay: u32) -> SocBuilder {
+        self.cores.push((cfg, start_delay));
+        self
+    }
+
+    /// Builds the SoC around a fresh copy of the accumulated image.
+    pub fn build(self) -> Soc {
+        self.build_shared(self.flash.clone().freeze())
+    }
+
+    /// Builds the SoC around an explicitly shared image — fault-campaign
+    /// runs construct thousands of SoCs over one frozen image.
+    pub fn build_shared(&self, image: Arc<FlashImage>) -> Soc {
+        assert!(!self.cores.is_empty(), "SoC needs at least one core");
+        let ports = 2 * self.cores.len();
+        let bus = Bus::new(
+            FlashCtl::new(image, self.timing),
+            Sram::new(self.sram_latency),
+            ports,
+        );
+        let cores = self
+            .cores
+            .iter()
+            .map(|&(cfg, delay)| (Core::new(cfg), delay))
+            .collect();
+        Soc { cores, bus, cycle: 0 }
+    }
+
+    /// Freezes the accumulated Flash image for sharing across builds.
+    pub fn freeze_image(&self) -> Arc<FlashImage> {
+        self.flash.clone().freeze()
+    }
+}
+
+/// The simulated multi-core SoC: N cores, one shared bus, shared Flash
+/// and SRAM.
+#[derive(Debug)]
+pub struct Soc {
+    cores: Vec<(Core, u32)>,
+    bus: Bus,
+    cycle: u64,
+}
+
+impl Soc {
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Core `i`.
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i].0
+    }
+
+    /// Mutable core `i` (arming faults, loading TCMs).
+    pub fn core_mut(&mut self, i: usize) -> &mut Core {
+        &mut self.cores[i].0
+    }
+
+    /// The shared bus (statistics, SRAM access).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Mutable bus access (peripheral setup from the harness).
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        &mut self.bus
+    }
+
+    /// Harness read of shared SRAM.
+    pub fn peek(&self, addr: u32) -> u32 {
+        self.bus.sram().peek(addr)
+    }
+
+    /// Harness write of shared SRAM.
+    pub fn poke(&mut self, addr: u32, value: u32) {
+        self.bus.sram_mut().poke(addr, value);
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances the whole SoC by one clock cycle.
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+        for (core, delay) in &mut self.cores {
+            if cycle >= *delay as u64 {
+                core.step(&mut self.bus);
+            }
+        }
+        self.bus.step();
+        self.cycle += 1;
+    }
+
+    /// Whether every core has halted cleanly.
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(|(c, _)| c.halted())
+    }
+
+    /// Runs until every core halts, a fatal trap occurs, the
+    /// memory-mapped watchdog bites (when software armed it), or
+    /// `max_cycles` elapse (the harness backstop). Both watchdog paths
+    /// report [`RunOutcome::Watchdog`] — in field they are the same
+    /// alarm.
+    pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        for _ in 0..max_cycles {
+            self.step();
+            if let Some(core) =
+                self.cores.iter().position(|(c, _)| c.fatal_trap())
+            {
+                return RunOutcome::FatalTrap { core, cycles: self.cycle };
+            }
+            if self.all_halted() {
+                return RunOutcome::AllHalted { cycles: self.cycle };
+            }
+            if self.bus.watchdog().bitten() {
+                return RunOutcome::Watchdog;
+            }
+        }
+        RunOutcome::Watchdog
+    }
+}

@@ -1,0 +1,162 @@
+//! Differential property tests: random programs *with control flow* must
+//! leave identical architectural state in the pipelined SoC (any cache
+//! configuration, any contention) and the single-cycle reference model.
+
+use proptest::prelude::*;
+use sbst_cpu::{CoreConfig, CoreKind, RefCpu, RefStop};
+use sbst_isa::{AluOp, Asm, Reg};
+use sbst_mem::SRAM_BASE;
+use sbst_soc::SocBuilder;
+
+const BASE: u32 = 0x400;
+
+/// A little random-program generator: straight-line ALU blocks separated
+/// by *bounded* countdown loops and forward skips, plus memory traffic.
+/// Every generated program terminates by construction.
+#[derive(Debug, Clone)]
+enum Chunk {
+    Alu(Vec<(u8, u8, u8, u8)>),
+    /// Countdown loop over a small ALU body: (iterations, body).
+    Loop(u8, Vec<(u8, u8, u8, u8)>),
+    /// Conditional forward skip over a block: (cond selector, block).
+    Skip(u8, Vec<(u8, u8, u8, u8)>),
+    /// Store/load pair at a scratch offset.
+    Mem(u8, u8),
+}
+
+fn arb_ops(max: usize) -> impl Strategy<Value = Vec<(u8, u8, u8, u8)>> {
+    prop::collection::vec((0u8..8, 1u8..14, 1u8..14, 1u8..14), 1..max)
+}
+
+fn arb_chunk() -> impl Strategy<Value = Chunk> {
+    prop_oneof![
+        arb_ops(12).prop_map(Chunk::Alu),
+        (1u8..5, arb_ops(6)).prop_map(|(n, b)| Chunk::Loop(n, b)),
+        (0u8..4, arb_ops(6)).prop_map(|(c, b)| Chunk::Skip(c, b)),
+        (0u8..16, 1u8..14).prop_map(|(off, r)| Chunk::Mem(off, r)),
+    ]
+}
+
+fn emit(chunks: &[Chunk], scratch: u32) -> Asm {
+    let alu_ops = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Mul,
+    ];
+    let mut a = Asm::new();
+    for i in 1..14 {
+        a.li(Reg::from_index(i), (i as u32).wrapping_mul(0x2545_f491));
+    }
+    a.li(Reg::R15, scratch); // scratch base
+    let emit_ops = |a: &mut Asm, ops: &[(u8, u8, u8, u8)]| {
+        for &(op, rd, rs1, rs2) in ops {
+            a.alu(
+                alu_ops[op as usize % 8],
+                Reg::from_index(rd as usize),
+                Reg::from_index(rs1 as usize),
+                Reg::from_index(rs2 as usize),
+            );
+        }
+    };
+    for (ci, chunk) in chunks.iter().enumerate() {
+        match chunk {
+            Chunk::Alu(ops) => emit_ops(&mut a, ops),
+            Chunk::Loop(n, body) => {
+                let label = format!("loop_{ci}");
+                a.li(Reg::R14, *n as u32);
+                a.label(&label);
+                emit_ops(&mut a, body);
+                a.subi(Reg::R14, Reg::R14, 1);
+                a.bne(Reg::R14, Reg::R0, &label);
+            }
+            Chunk::Skip(c, body) => {
+                let label = format!("skip_{ci}");
+                // Data-dependent but deterministic skip.
+                let (r1, r2) = (Reg::from_index(1 + (*c as usize % 4)), Reg::R13);
+                match c % 4 {
+                    0 => a.beq(r1, r2, &label),
+                    1 => a.bne(r1, r2, &label),
+                    2 => a.blt(r1, r2, &label),
+                    _ => a.bge(r1, r2, &label),
+                }
+                emit_ops(&mut a, body);
+                a.label(&label);
+            }
+            Chunk::Mem(off, r) => {
+                let off = (*off as i16) * 4;
+                a.sw(Reg::from_index(*r as usize), Reg::R15, off);
+                a.lw(Reg::from_index(1 + (*r as usize % 6)), Reg::R15, off);
+            }
+        }
+    }
+    a.halt();
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_control_flow_matches_reference(
+        chunks in prop::collection::vec(arb_chunk(), 1..8),
+        cached in any::<bool>(),
+        kind in prop::sample::select(vec![CoreKind::A, CoreKind::C]),
+    ) {
+        let asm = emit(&chunks, SRAM_BASE + 0x200);
+        let program = asm.assemble(BASE).expect("assembles");
+        let mut reference = RefCpu::new(kind, program.clone());
+        prop_assert_eq!(reference.run(2_000_000), RefStop::Halted);
+        let cfg = if cached {
+            CoreConfig::cached(kind, 0, BASE)
+        } else {
+            CoreConfig::uncached(kind, 0, BASE)
+        };
+        let mut soc = SocBuilder::new().load(&program).core(cfg, 0).build();
+        prop_assert!(soc.run(50_000_000).is_clean(), "pipeline did not halt");
+        for r in Reg::ALL {
+            prop_assert_eq!(
+                soc.core(0).reg(r), reference.reg(r),
+                "register {} differs (cached={})", r, cached
+            );
+        }
+        // Memory agrees too.
+        for off in (0..64u32).step_by(4) {
+            let addr = SRAM_BASE + 0x200 + off;
+            prop_assert_eq!(soc.peek(addr), reference.mem_word(addr));
+        }
+    }
+
+    #[test]
+    fn contention_never_changes_architectural_results(
+        chunks in prop::collection::vec(arb_chunk(), 1..5),
+        delay in 0u32..16,
+    ) {
+        // The multi-core premise behind the whole paper: contention can
+        // change *timing*, never *values*.
+        let asm = emit(&chunks, SRAM_BASE + 0x200);
+        let program = asm.assemble(BASE).expect("assembles");
+        let solo = {
+            let mut soc = SocBuilder::new()
+                .load(&program)
+                .core(CoreConfig::uncached(CoreKind::A, 0, BASE), 0)
+                .build();
+            prop_assert!(soc.run(50_000_000).is_clean());
+            *soc.core(0).regs()
+        };
+        // Traffic uses its own scratch area: shared data would of course differ.
+        let traffic = emit(&[Chunk::Loop(4, vec![(0, 1, 2, 3), (4, 2, 3, 1)])], SRAM_BASE + 0x1200);
+        let mut soc = SocBuilder::new()
+            .load(&program)
+            .load(&traffic.assemble(0x40000).expect("assembles"))
+            .core(CoreConfig::uncached(CoreKind::A, 0, BASE), 0)
+            .core(CoreConfig::uncached(CoreKind::B, 1, 0x40000), delay)
+            .build();
+        prop_assert!(soc.run(50_000_000).is_clean());
+        prop_assert_eq!(*soc.core(0).regs(), solo);
+    }
+}

@@ -1,0 +1,62 @@
+//! Unit tests of the pipeline-trace diagram rendering.
+
+use sbst_cpu::{CoreConfig, CoreKind};
+use sbst_isa::{Asm, Reg};
+use sbst_soc::{PipelineTrace, SocBuilder};
+
+fn traced(asm: &Asm) -> (PipelineTrace, u32, u32) {
+    let base = 0x400;
+    let program = asm.assemble(base).unwrap();
+    let end = program.end();
+    let mut soc = SocBuilder::new()
+        .load(&program)
+        .core(CoreConfig::cached(CoreKind::A, 0, base), 0)
+        .build();
+    (PipelineTrace::capture(&mut soc, 0, 50_000), base, end)
+}
+
+#[test]
+fn diagram_contains_every_instruction_and_stage_order_is_sane() {
+    let mut a = Asm::new();
+    a.li(Reg::R1, 3);
+    a.add(Reg::R2, Reg::R1, Reg::R1);
+    a.halt();
+    let (trace, base, end) = traced(&a);
+    let d = trace.diagram(base, end);
+    assert!(d.contains("addi r1, r0, 3"), "{d}");
+    assert!(d.contains("add r2, r1, r1"), "{d}");
+    assert!(d.contains("halt"), "{d}");
+    // Stage ordering: every row that shows all four stages shows them in
+    // IS EX ME WB order.
+    for line in d.lines().skip(1) {
+        let (is, ex) = (line.find("IS"), line.find("EX"));
+        let (me, wb) = (line.find("ME"), line.find("WB"));
+        if let (Some(is), Some(ex), Some(me), Some(wb)) = (is, ex, me, wb) {
+            assert!(is < ex && ex < me && me < wb, "stage order broken: {line}");
+        }
+    }
+}
+
+#[test]
+fn diagram_window_filters_rows() {
+    let mut a = Asm::new();
+    a.nop();
+    a.nop();
+    a.halt();
+    let (trace, base, _) = traced(&a);
+    let only_first = trace.diagram(base, base + 4);
+    assert_eq!(only_first.lines().count(), 2, "header + one row:\n{only_first}");
+    let empty = trace.diagram(0xdead_0000, 0xdead_0010);
+    assert_eq!(empty.lines().count(), 1, "header only");
+}
+
+#[test]
+fn ex_cycle_lookup() {
+    let mut a = Asm::new();
+    a.nop();
+    a.halt();
+    let (trace, base, _) = traced(&a);
+    assert!(trace.ex_cycle_of(base).is_some());
+    assert_eq!(trace.ex_cycle_of(0xffff_0000), None);
+    assert!(!trace.views().is_empty());
+}

@@ -1,0 +1,48 @@
+//! The deployable flow: declare a Software Test Library for the
+//! triple-core SoC, let the library learn golden signatures and build a
+//! self-checking boot image, run the parallel boot test, read verdicts.
+//!
+//! ```sh
+//! cargo run --release --example boot_image
+//! ```
+
+use det_sbst::cpu::CoreKind;
+use det_sbst::stl::routines::{
+    BranchTest, ForwardingTest, GenericAluTest, HdcuTest, IcuTest, LsuTest, RegFileTest,
+};
+use det_sbst::stl::StlCatalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut catalog = StlCatalog::new();
+    // Core A: datapath-heavy routines.
+    catalog.add("A/regfile", 0, Box::new(RegFileTest::new()));
+    catalog.add("A/forwarding", 0, Box::new(ForwardingTest::without_pcs(CoreKind::A)));
+    // Core B: control + memory.
+    catalog.add("B/branch", 1, Box::new(BranchTest::new()));
+    catalog.add("B/lsu", 1, Box::new(LsuTest::new()));
+    catalog.add("B/hdcu", 1, Box::new(HdcuTest::new(CoreKind::B)));
+    // Core C: interrupts + generic.
+    catalog.add("C/icu", 2, Box::new(IcuTest::new()));
+    catalog.add("C/alu", 2, Box::new(GenericAluTest::new(3)));
+
+    println!("learning golden signatures and building the boot image...");
+    let image = catalog.build()?;
+    for (core, base, program) in image.programs() {
+        println!(
+            "  core {core}: {} bytes of boot-test code at {base:#x}",
+            program.len_bytes()
+        );
+    }
+
+    println!("\nrunning the parallel boot test (all cores, cache-wrapped)...");
+    let report = image.run(120_000_000);
+    let mut lines: Vec<String> =
+        report.iter().map(|(n, v)| format!("  {n:<14} {v}")).collect();
+    lines.sort();
+    for l in lines {
+        println!("{l}");
+    }
+    println!("\noutcome: {:?} — all passed: {}", report.outcome, report.all_passed());
+    assert!(report.all_passed());
+    Ok(())
+}

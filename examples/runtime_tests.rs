@@ -1,0 +1,93 @@
+//! Run-time self-test coexistence (paper §I): unlike boot-time tests,
+//! run-time tests execute *during application idle windows*. This
+//! example shows an "application" main loop on core A that periodically
+//! calls a cache-wrapped routine as a subroutine (`ret` terminator) while
+//! cores B and C run their own workloads — the STL coexisting with
+//! application software, as the paper requires of a deployable library.
+//!
+//! ```sh
+//! cargo run --release --example runtime_tests
+//! ```
+
+use det_sbst::cpu::{CoreConfig, CoreKind};
+use det_sbst::isa::{Asm, Reg};
+use det_sbst::mem::SRAM_BASE;
+use det_sbst::soc::SocBuilder;
+use det_sbst::stl::routines::RegFileTest;
+use det_sbst::stl::{
+    learn_golden_cached, wrap_cached, RoutineEnv, Terminator, WrapConfig, STATUS_PASS,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kind = CoreKind::A;
+    let routine = RegFileTest::new();
+    let env = RoutineEnv::for_core(kind);
+    let mut cfg = WrapConfig::default();
+    cfg.expected_sig = Some(learn_golden_cached(&routine, &env, &cfg, kind, 0x4000)?);
+    cfg.terminator = Terminator::Ret; // callable from the application
+
+    // Application: 4 "work periods", each followed by an idle window in
+    // which the self-test runs. Self-test routines clobber the general
+    // registers (they *test* the register file), so the application
+    // spills its live state to SRAM around each call — exactly what the
+    // paper means by the STL "complying with the requirements of the
+    // embedded software".
+    let save = SRAM_BASE + 0x3000;
+    let mut app = Asm::new();
+    app.li(Reg::R24, 4); // periods
+    app.label("period");
+    //   ... the application's real work ...
+    app.li(Reg::R26, 40);
+    app.label("work");
+    app.addi(Reg::R25, Reg::R25, 1);
+    app.subi(Reg::R26, Reg::R26, 1);
+    app.bne(Reg::R26, Reg::R0, "work");
+    //   idle window: spill, run the self-test, restore.
+    app.li(Reg::R1, save);
+    app.sw(Reg::R24, Reg::R1, 0);
+    app.sw(Reg::R25, Reg::R1, 4);
+    app.call("selftest");
+    app.li(Reg::R1, save);
+    app.lw(Reg::R24, Reg::R1, 0);
+    app.lw(Reg::R25, Reg::R1, 4);
+    app.subi(Reg::R24, Reg::R24, 1);
+    app.bne(Reg::R24, Reg::R0, "period");
+    app.halt();
+    app.label("selftest");
+    let wrapped = wrap_cached(&routine, &env, &cfg, "rt")?;
+    app.append(&wrapped);
+
+    let base = 0x1000;
+    let program = app.assemble(base)?;
+    let mut builder = SocBuilder::new()
+        .load(&program)
+        .core(CoreConfig::cached(kind, 0, base), 0);
+    // Background workloads on the other cores.
+    for core in 1..3usize {
+        let mut w = Asm::new();
+        w.li(Reg::R1, 3000);
+        w.label("spin");
+        w.addi(Reg::R2, Reg::R2, 1);
+        w.subi(Reg::R1, Reg::R1, 1);
+        w.bne(Reg::R1, Reg::R0, "spin");
+        w.halt();
+        let wbase = 0x40000 * core as u32;
+        builder = builder
+            .load(&w.assemble(wbase)?)
+            .core(CoreConfig::uncached(CoreKind::ALL[core], core, wbase), core as u32);
+    }
+    let mut soc = builder.build();
+    let outcome = soc.run(10_000_000);
+    println!("outcome: {outcome:?}");
+    println!("application work done: {}", soc.core(0).reg(Reg::R25));
+    let status = soc.peek(env.result_addr + 4);
+    println!(
+        "last in-idle self-test: {}",
+        if status == STATUS_PASS { "PASS" } else { "FAIL/NOT-RUN" }
+    );
+    assert!(outcome.is_clean());
+    assert_eq!(soc.core(0).reg(Reg::R25), 160);
+    assert_eq!(status, STATUS_PASS, "run-time test passed in every idle window");
+    assert_eq!(SRAM_BASE, det_sbst::mem::SRAM_BASE);
+    Ok(())
+}

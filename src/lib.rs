@@ -1,0 +1,52 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # det-sbst — deterministic cache-based execution of on-line self-test
+//! routines in multi-core automotive SoCs
+//!
+//! A full Rust reproduction of Floridia et al., *"Deterministic
+//! Cache-based Execution of On-line Self-Test Routines in Multi-core
+//! Automotive System-on-Chips"*, DATE 2020 — including every substrate
+//! the paper's evaluation needs:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`isa`] | 32-bit dual-issue ISA, assembler, disassembler |
+//! | [`mem`] | Flash (+ prefetch rows), shared bus, L1 caches, TCMs, watchdog |
+//! | [`fault`] | stuck-at fault sites, armed-fault plane, gate evaluators, equivalence collapsing |
+//! | [`cpu`] | cycle-accurate dual-issue pipeline, forwarding, HDCU, ICU |
+//! | [`soc`] | triple-core SoC, scenarios, pipeline traces |
+//! | [`stl`] | self-test routines, signatures, the **cache-based wrapper**, TCM wrapper, scheduler |
+//! | [`campaign`] | parallel fault-simulation campaigns, Tables I–IV |
+//!
+//! The headline result, as a doctest:
+//!
+//! ```
+//! use det_sbst::cpu::CoreKind;
+//! use det_sbst::stl::routines::IcuTest;
+//! use det_sbst::stl::{learn_golden_cached, RoutineEnv, WrapConfig};
+//!
+//! # fn main() -> Result<(), det_sbst::stl::WrapError> {
+//! // The golden signature of a cache-wrapped routine is learned once on
+//! // a single core — and (as the test suite asserts) the same value is
+//! // produced under full three-core bus contention: deterministic
+//! // in-field self-test.
+//! let routine = IcuTest::new();
+//! let env = RoutineEnv::for_core(CoreKind::A);
+//! let cfg = WrapConfig::default();
+//! let golden = learn_golden_cached(&routine, &env, &cfg, CoreKind::A, 0x400)?;
+//! assert_ne!(golden, 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for the
+//! paper-vs-measured record, and `examples/` for runnable entry points.
+
+pub use sbst_campaign as campaign;
+pub use sbst_cpu as cpu;
+pub use sbst_fault as fault;
+pub use sbst_isa as isa;
+pub use sbst_mem as mem;
+pub use sbst_soc as soc;
+pub use sbst_stl as stl;
