@@ -18,7 +18,7 @@ use crate::routines_for;
 use crate::tables::Effort;
 
 /// One wrapper variant under ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Variant {
     /// The full method: invalidate + 2 iterations, cached.
     Full,
@@ -75,7 +75,7 @@ impl std::fmt::Display for Variant {
 }
 
 /// Result of ablating one variant.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationRow {
     /// The variant.
     pub variant: Variant,

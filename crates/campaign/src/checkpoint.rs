@@ -1,0 +1,527 @@
+//! Incremental campaign checkpointing and resumption.
+//!
+//! A fault campaign is thousands of independent full-SoC simulations;
+//! killing the host process (preemption, OOM, operator ctrl-C) used to
+//! lose everything. This module periodically serializes the per-fault
+//! verdict vector to a small JSON file so a later invocation can skip
+//! every already-graded site and finish the campaign with a
+//! [`CampaignResult`] identical to an uninterrupted run.
+//!
+//! The checkpoint is bound to the *exact* fault list by a fingerprint
+//! (FNV-1a over the site taxonomy in list order): resuming against a
+//! different list, order, or taxonomy version is rejected instead of
+//! silently mis-attributing verdicts.
+//!
+//! The on-disk format is deliberately tiny and hand-rolled (the build
+//! is hermetic — no serde):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "fingerprint": 1234567890123,
+//!   "verdicts": ["hang", null, "undetected", ...]
+//! }
+//! ```
+//!
+//! `verdicts[i]` is `null` while fault `i` is still ungraded, else the
+//! stable tag of [`Verdict`] (see [`Verdict::tag`]). Writes go through
+//! a temp file + rename so a crash mid-write never corrupts the last
+//! good checkpoint.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use sbst_fault::{FaultList, FaultSite, Verdict};
+
+use crate::faultsim::{
+    grade_pending, CampaignError, CampaignResult, ExperimentGrader, FaultGrader,
+};
+use crate::{Experiment, Observation};
+
+/// Current checkpoint file format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The persisted state of a (possibly partial) campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Fingerprint of the fault list this checkpoint belongs to.
+    pub fingerprint: u64,
+    /// Per-fault verdict slots, in fault-list order.
+    pub verdicts: Vec<Option<Verdict>>,
+}
+
+/// Why a checkpoint could not be used.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file is not a valid checkpoint (message says where).
+    Malformed(String),
+    /// The checkpoint belongs to a different fault list.
+    FingerprintMismatch {
+        /// Fingerprint in the file.
+        found: u64,
+        /// Fingerprint of the offered fault list.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "checkpoint fingerprint {found:#x} does not match fault list {expected:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Stable fingerprint of a fault list (FNV-1a over the `Debug`
+/// rendering of each site, in order, plus the length).
+pub fn fingerprint(faults: &FaultList) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(&(faults.len() as u64).to_le_bytes());
+    for site in faults.iter() {
+        eat(format!("{site:?}").as_bytes());
+    }
+    h
+}
+
+impl Checkpoint {
+    /// A fresh, fully ungraded checkpoint for `faults`.
+    pub fn new(faults: &FaultList) -> Checkpoint {
+        Checkpoint {
+            fingerprint: fingerprint(faults),
+            verdicts: vec![None; faults.len()],
+        }
+    }
+
+    /// Number of graded slots.
+    pub fn completed(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Whether every fault is graded.
+    pub fn is_complete(&self) -> bool {
+        self.verdicts.iter().all(|v| v.is_some())
+    }
+
+    /// Serializes to the checkpoint JSON format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + 16 * self.verdicts.len());
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {CHECKPOINT_VERSION},\n"));
+        out.push_str(&format!("  \"fingerprint\": {},\n", self.fingerprint));
+        out.push_str("  \"verdicts\": [");
+        for (i, v) in self.verdicts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match v {
+                Some(v) => {
+                    out.push('"');
+                    out.push_str(v.tag());
+                    out.push('"');
+                }
+                None => out.push_str("null"),
+            }
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses the checkpoint JSON format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] with a description of the
+    /// first offending construct.
+    pub fn from_json(text: &str) -> Result<Checkpoint, CheckpointError> {
+        let mut p = Parser { rest: text };
+        p.expect('{')?;
+        let mut version = None;
+        let mut fp = None;
+        let mut verdicts = None;
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "version" => version = Some(p.integer()?),
+                "fingerprint" => fp = Some(p.integer()?),
+                "verdicts" => verdicts = Some(p.verdict_array()?),
+                other => {
+                    return Err(CheckpointError::Malformed(format!("unknown key {other:?}")))
+                }
+            }
+            if !p.comma_or('}')? {
+                break;
+            }
+        }
+        let version = version.ok_or_else(|| malformed("missing version"))?;
+        if version != CHECKPOINT_VERSION as u64 {
+            return Err(malformed(&format!("unsupported version {version}")));
+        }
+        Ok(Checkpoint {
+            fingerprint: fp.ok_or_else(|| malformed("missing fingerprint"))?,
+            verdicts: verdicts.ok_or_else(|| malformed("missing verdicts"))?,
+        })
+    }
+
+    /// Atomically writes the checkpoint to `path` (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = tmp_path(path);
+        fs::write(&tmp, self.to_json())?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Loads a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and format violations.
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        Checkpoint::from_json(&fs::read_to_string(path)?)
+    }
+}
+
+fn malformed(msg: &str) -> CheckpointError {
+    CheckpointError::Malformed(msg.to_string())
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    PathBuf::from(tmp)
+}
+
+/// A minimal parser for exactly the checkpoint schema.
+struct Parser<'a> {
+    rest: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), CheckpointError> {
+        self.skip_ws();
+        match self.rest.strip_prefix(c) {
+            Some(r) => {
+                self.rest = r;
+                Ok(())
+            }
+            None => Err(malformed(&format!(
+                "expected {c:?} at {:?}",
+                &self.rest[..self.rest.len().min(20)]
+            ))),
+        }
+    }
+
+    /// `"..."` (no escapes — verdict tags and keys never need them).
+    fn string(&mut self) -> Result<String, CheckpointError> {
+        self.expect('"')?;
+        let end = self
+            .rest
+            .find('"')
+            .ok_or_else(|| malformed("unterminated string"))?;
+        let s = self.rest[..end].to_string();
+        self.rest = &self.rest[end + 1..];
+        Ok(s)
+    }
+
+    fn integer(&mut self) -> Result<u64, CheckpointError> {
+        self.skip_ws();
+        let end = self
+            .rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(malformed("expected integer"));
+        }
+        let n = self.rest[..end]
+            .parse()
+            .map_err(|_| malformed("integer out of range"))?;
+        self.rest = &self.rest[end..];
+        Ok(n)
+    }
+
+    /// `, ` → `true` (more elements), or the closing char → `false`.
+    fn comma_or(&mut self, close: char) -> Result<bool, CheckpointError> {
+        self.skip_ws();
+        if let Some(r) = self.rest.strip_prefix(',') {
+            self.rest = r;
+            self.skip_ws();
+            Ok(true)
+        } else if let Some(r) = self.rest.strip_prefix(close) {
+            self.rest = r;
+            Ok(false)
+        } else {
+            Err(malformed(&format!("expected ',' or {close:?}")))
+        }
+    }
+
+    fn verdict_array(&mut self) -> Result<Vec<Option<Verdict>>, CheckpointError> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if let Some(r) = self.rest.strip_prefix(']') {
+            self.rest = r;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            if let Some(r) = self.rest.strip_prefix("null") {
+                self.rest = r;
+                out.push(None);
+            } else {
+                let tag = self.string()?;
+                let v = Verdict::from_tag(&tag)
+                    .ok_or_else(|| malformed(&format!("unknown verdict tag {tag:?}")))?;
+                out.push(Some(v));
+            }
+            if !self.comma_or(']')? {
+                break;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// How a resumable campaign checkpoints itself.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Where the checkpoint file lives.
+    pub path: PathBuf,
+    /// Persist after every `every` newly graded faults (and always once
+    /// at the end). 0 behaves like 1.
+    pub every: usize,
+    /// Grade at most this many *new* faults, then save and return a
+    /// partial outcome — the deterministic stand-in for an interrupt
+    /// (also useful for time-boxed campaign slices).
+    pub max_new: Option<usize>,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints to `path` every 64 graded faults, no slice limit.
+    pub fn new(path: impl Into<PathBuf>) -> CheckpointConfig {
+        CheckpointConfig { path: path.into(), every: 64, max_new: None }
+    }
+}
+
+/// Outcome of a resumable campaign invocation.
+#[derive(Debug)]
+pub struct ResumableOutcome {
+    /// Aggregate over every *graded* fault so far.
+    pub result: CampaignResult,
+    /// Per-fault records for graded faults (fault-list order).
+    pub records: Vec<(FaultSite, Verdict)>,
+    /// Simulation crashes recorded during *this* invocation.
+    pub errors: Vec<CampaignError>,
+    /// Whether every fault of the list is now graded.
+    pub complete: bool,
+    /// Faults graded by this invocation (as opposed to restored from
+    /// the checkpoint).
+    pub newly_graded: usize,
+}
+
+/// Runs (or resumes) a checkpointed campaign against any grader.
+///
+/// If `cfg.path` holds a checkpoint for exactly this fault list, its
+/// verdicts are restored and those sites are skipped; otherwise a fresh
+/// checkpoint is started. Progress is persisted every `cfg.every`
+/// completions and once at the end, so a killed process loses at most
+/// `cfg.every` simulations.
+///
+/// # Errors
+///
+/// Propagates checkpoint I/O and format errors. A checkpoint whose
+/// fingerprint does not match `faults` is an error — pass a different
+/// path (or delete the file) to start over.
+pub fn resume_campaign_graded(
+    grader: &dyn FaultGrader,
+    faults: &FaultList,
+    threads: usize,
+    cfg: &CheckpointConfig,
+) -> Result<ResumableOutcome, CheckpointError> {
+    let fp = fingerprint(faults);
+    let mut checkpoint = if cfg.path.exists() {
+        let cp = Checkpoint::load(&cfg.path)?;
+        if cp.fingerprint != fp {
+            return Err(CheckpointError::FingerprintMismatch {
+                found: cp.fingerprint,
+                expected: fp,
+            });
+        }
+        if cp.verdicts.len() != faults.len() {
+            return Err(malformed(&format!(
+                "checkpoint has {} slots for {} faults",
+                cp.verdicts.len(),
+                faults.len()
+            )));
+        }
+        cp
+    } else {
+        Checkpoint::new(faults)
+    };
+    let restored = checkpoint.completed();
+
+    // Cap this slice: pre-fill the slots we are *not* allowed to touch
+    // with a sentinel so the engine skips them, then blank them again
+    // before reporting.
+    let mut masked = Vec::new();
+    if let Some(max_new) = cfg.max_new {
+        let mut allowed = max_new;
+        for (i, v) in checkpoint.verdicts.iter_mut().enumerate() {
+            if v.is_none() {
+                if allowed == 0 {
+                    *v = Some(Verdict::SimError); // placeholder, blanked below
+                    masked.push(i);
+                } else {
+                    allowed -= 1;
+                }
+            }
+        }
+    }
+
+    let every = cfg.every.max(1);
+    let pending = Mutex::new(std::mem::take(&mut checkpoint.verdicts));
+    let errors = Mutex::new(Vec::new());
+    let save_state = Mutex::new((restored + masked.len(), cfg.path.clone(), fp));
+    let masked_ref = &masked;
+    grade_pending(grader, faults.sites(), &pending, &errors, threads, &|slots| {
+        let mut state = save_state.lock().expect("save state");
+        let done = slots.iter().filter(|v| v.is_some()).count();
+        if done >= state.0 + every {
+            state.0 = done;
+            let mut snapshot = Checkpoint { fingerprint: state.2, verdicts: slots.to_vec() };
+            for &i in masked_ref {
+                snapshot.verdicts[i] = None;
+            }
+            // Persist best-effort: a failed write must not kill workers.
+            let _ = snapshot.save(&state.1);
+        }
+    });
+
+    checkpoint.verdicts = pending.into_inner().expect("verdict slots");
+    for &i in &masked {
+        checkpoint.verdicts[i] = None;
+    }
+    checkpoint.save(&cfg.path)?;
+
+    let records: Vec<(FaultSite, Verdict)> = faults
+        .sites()
+        .iter()
+        .zip(&checkpoint.verdicts)
+        .filter_map(|(&s, v)| v.map(|v| (s, v)))
+        .collect();
+    let newly_graded = checkpoint.completed() - restored;
+    Ok(ResumableOutcome {
+        result: CampaignResult::from_records(&records),
+        complete: checkpoint.is_complete(),
+        records,
+        errors: errors.into_inner().expect("error log"),
+        newly_graded,
+    })
+}
+
+/// Runs (or resumes) a checkpointed campaign of `experiment` over
+/// `faults` — the production entry point; see
+/// [`resume_campaign_graded`] for the semantics.
+///
+/// # Errors
+///
+/// Propagates checkpoint I/O and format errors.
+pub fn resume_campaign(
+    experiment: &Experiment,
+    golden: &Observation,
+    faults: &FaultList,
+    threads: usize,
+    cfg: &CheckpointConfig,
+) -> Result<ResumableOutcome, CheckpointError> {
+    let grader = ExperimentGrader { experiment, golden };
+    resume_campaign_graded(&grader, faults, threads, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_fault::{Element, Polarity, Unit};
+
+    fn list(n: u16) -> FaultList {
+        (0..n)
+            .map(|i| FaultSite {
+                unit: Unit::Hdcu,
+                instance: i,
+                element: Element::CmpOut,
+                polarity: Polarity::StuckAt0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_slot() {
+        let mut cp = Checkpoint::new(&list(7));
+        cp.verdicts[0] = Some(Verdict::Hang);
+        cp.verdicts[3] = Some(Verdict::Undetected);
+        cp.verdicts[6] = Some(Verdict::SimError);
+        let back = Checkpoint::from_json(&cp.to_json()).expect("parses");
+        assert_eq!(cp, back);
+    }
+
+    #[test]
+    fn empty_list_round_trips() {
+        let cp = Checkpoint::new(&FaultList::new());
+        let back = Checkpoint::from_json(&cp.to_json()).expect("parses");
+        assert_eq!(cp, back);
+        assert!(back.is_complete());
+    }
+
+    #[test]
+    fn fingerprint_tracks_order_and_content() {
+        let a = list(5);
+        let b = list(6);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        let mut rev: Vec<_> = a.iter().copied().collect();
+        rev.reverse();
+        assert_ne!(fingerprint(&a), fingerprint(&rev.into_iter().collect()));
+        assert_eq!(fingerprint(&a), fingerprint(&list(5)));
+    }
+
+    #[test]
+    fn malformed_checkpoints_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "{\"version\": 1}",
+            "{\"version\": 99, \"fingerprint\": 1, \"verdicts\": []}",
+            "{\"version\": 1, \"fingerprint\": 1, \"verdicts\": [\"bogus\"]}",
+        ] {
+            assert!(Checkpoint::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -333,7 +333,7 @@ impl Experiment {
     /// comparison, then the routine's own status word.
     pub fn classify(golden: &Observation, faulty: &Observation) -> Verdict {
         match faulty.outcome {
-            RunOutcome::Watchdog => Verdict::Hang,
+            RunOutcome::Watchdog { .. } => Verdict::Hang,
             RunOutcome::FatalTrap { .. } => Verdict::UnexpectedTrap,
             RunOutcome::AllHalted { .. } => {
                 if faulty.signature != golden.signature {

@@ -1,5 +1,15 @@
 //! The parallel fault-simulation engine.
+//!
+//! Robustness contract: one fault's simulation crashing (a harness
+//! defect — the fault model itself never panics on purpose) must not
+//! abort the campaign. Every per-fault evaluation runs under
+//! [`std::panic::catch_unwind`]; a panic is recorded as
+//! [`Verdict::SimError`] against the offending [`FaultSite`] together
+//! with the panic message, and every other fault's verdict is
+//! unaffected. Worker-thread join failures are aggregated the same way
+//! instead of being `expect`ed.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -7,9 +17,66 @@ use sbst_fault::{FaultList, FaultSite, Verdict};
 
 use crate::experiment::{Experiment, Observation};
 
+/// Grades one fault site into a [`Verdict`] — the seam the campaign
+/// engine runs behind. The production implementation is an
+/// [`Experiment`] plus its golden [`Observation`]; tests substitute
+/// graders that panic or misbehave to exercise the engine's isolation.
+pub trait FaultGrader: Sync {
+    /// Simulates `site` and classifies the outcome.
+    fn grade(&self, site: FaultSite) -> Verdict;
+}
+
+/// The production grader: a fault-free reference plus the experiment.
+pub struct ExperimentGrader<'a> {
+    /// The configured experiment.
+    pub experiment: &'a Experiment,
+    /// Its golden observation.
+    pub golden: &'a Observation,
+}
+
+impl FaultGrader for ExperimentGrader<'_> {
+    fn grade(&self, site: FaultSite) -> Verdict {
+        self.experiment.test_fault(self.golden, site)
+    }
+}
+
+/// One recorded simulation failure: which fault's evaluation crashed
+/// (or which worker died) and the rendered panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignError {
+    /// The fault whose simulation crashed; `None` for a worker-level
+    /// failure not attributable to a single site.
+    pub site: Option<FaultSite>,
+    /// Index of the fault in the graded list (`usize::MAX` for
+    /// worker-level failures).
+    pub index: usize,
+    /// The panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.site {
+            Some(site) => write!(f, "fault #{} {:?}: {}", self.index, site, self.message),
+            None => write!(f, "worker: {}", self.message),
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload into a readable message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Aggregated result of fault-simulating one fault list against one
 /// experiment.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignResult {
     /// Faults simulated.
     pub total: usize,
@@ -23,12 +90,15 @@ pub struct CampaignResult {
     pub hang: usize,
     /// Not detected.
     pub undetected: usize,
+    /// Simulations that crashed (harness defects, not silicon verdicts).
+    pub sim_errors: usize,
 }
 
 impl CampaignResult {
-    /// Total detections.
+    /// Total detections (crashed simulations prove nothing and are
+    /// excluded).
     pub fn detected(&self) -> usize {
-        self.total - self.undetected
+        self.total - self.undetected - self.sim_errors
     }
 
     /// Fault coverage in percent.
@@ -39,7 +109,7 @@ impl CampaignResult {
         100.0 * self.detected() as f64 / self.total as f64
     }
 
-    fn record(&mut self, verdict: Verdict) {
+    pub(crate) fn record(&mut self, verdict: Verdict) {
         self.total += 1;
         match verdict {
             Verdict::WrongSignature => self.wrong_signature += 1,
@@ -47,16 +117,17 @@ impl CampaignResult {
             Verdict::UnexpectedTrap => self.unexpected_trap += 1,
             Verdict::Hang => self.hang += 1,
             Verdict::Undetected => self.undetected += 1,
+            Verdict::SimError => self.sim_errors += 1,
         }
     }
 
-    fn merge(&mut self, other: &CampaignResult) {
-        self.total += other.total;
-        self.wrong_signature += other.wrong_signature;
-        self.test_fail += other.test_fail;
-        self.unexpected_trap += other.unexpected_trap;
-        self.hang += other.hang;
-        self.undetected += other.undetected;
+    /// Rebuilds the aggregate from per-fault records.
+    pub fn from_records(records: &[(FaultSite, Verdict)]) -> CampaignResult {
+        let mut result = CampaignResult::default();
+        for &(_, v) in records {
+            result.record(v);
+        }
+        result
     }
 }
 
@@ -72,53 +143,129 @@ impl std::fmt::Display for CampaignResult {
             self.test_fail,
             self.unexpected_trap,
             self.hang
-        )
+        )?;
+        if self.sim_errors != 0 {
+            write!(f, ", sim-errors {}", self.sim_errors)?;
+        }
+        Ok(())
     }
+}
+
+/// Resolves a requested thread count (0 = available parallelism).
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// The core engine: grades `sites[i]` for every `i` where `pending`
+/// holds `None`, writing verdicts in place and appending crash reports
+/// to `errors`. Panics inside `grader.grade` become
+/// [`Verdict::SimError`]; worker join failures become site-less
+/// [`CampaignError`]s. `on_done` runs under the same lock that
+/// publishes each verdict, so checkpoint writers observe a consistent
+/// snapshot.
+pub(crate) fn grade_pending(
+    grader: &dyn FaultGrader,
+    sites: &[FaultSite],
+    pending: &Mutex<Vec<Option<Verdict>>>,
+    errors: &Mutex<Vec<CampaignError>>,
+    threads: usize,
+    on_done: &(dyn Fn(&[Option<Verdict>]) + Sync),
+) {
+    let todo: Vec<usize> = {
+        let slots = pending.lock().expect("verdict slots");
+        assert_eq!(slots.len(), sites.len(), "slot/site length mismatch");
+        slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.is_none().then_some(i))
+            .collect()
+    };
+    if todo.is_empty() {
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let threads = resolve_threads(threads).min(todo.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let next = &next;
+            let todo = &todo;
+            handles.push(scope.spawn(move || loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = todo.get(t) else { break };
+                let site = sites[i];
+                let verdict = match catch_unwind(AssertUnwindSafe(|| grader.grade(site))) {
+                    Ok(v) => v,
+                    Err(payload) => {
+                        errors.lock().expect("error log").push(CampaignError {
+                            site: Some(site),
+                            index: i,
+                            message: panic_message(payload),
+                        });
+                        Verdict::SimError
+                    }
+                };
+                let mut slots = pending.lock().expect("verdict slots");
+                slots[i] = Some(verdict);
+                on_done(&slots);
+            }));
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                // A panic that escaped the per-fault isolation (e.g. in
+                // the engine itself): record it instead of aborting the
+                // whole campaign.
+                errors.lock().expect("error log").push(CampaignError {
+                    site: None,
+                    index: usize::MAX,
+                    message: panic_message(payload),
+                });
+            }
+        }
+    });
+}
+
+/// Detailed campaign against any [`FaultGrader`]: per-fault verdicts in
+/// fault-list order plus every recorded simulation crash.
+pub fn run_campaign_graded(
+    grader: &dyn FaultGrader,
+    faults: &FaultList,
+    threads: usize,
+) -> (CampaignResult, Vec<(FaultSite, Verdict)>, Vec<CampaignError>) {
+    let sites = faults.sites();
+    let pending = Mutex::new(vec![None::<Verdict>; sites.len()]);
+    let errors = Mutex::new(Vec::new());
+    grade_pending(grader, sites, &pending, &errors, threads, &|_| {});
+    let records: Vec<(FaultSite, Verdict)> = sites
+        .iter()
+        .zip(pending.into_inner().expect("verdict slots"))
+        .map(|(&s, v)| (s, v.expect("every fault graded")))
+        .collect();
+    (
+        CampaignResult::from_records(&records),
+        records,
+        errors.into_inner().expect("error log"),
+    )
 }
 
 /// Fault-simulates every fault of `faults` against `experiment`,
 /// fanning out over `threads` worker threads (0 = available
 /// parallelism). Each fault is an independent full-SoC simulation
-/// sharing the frozen Flash image.
+/// sharing the frozen Flash image. A crashing simulation is recorded as
+/// [`Verdict::SimError`] rather than aborting the campaign.
 pub fn run_campaign(
     experiment: &Experiment,
     golden: &Observation,
     faults: &FaultList,
     threads: usize,
 ) -> CampaignResult {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    };
-    let sites = faults.sites();
-    if sites.is_empty() {
-        return CampaignResult::default();
-    }
-    let next = AtomicUsize::new(0);
-    let mut result = CampaignResult::default();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..threads.min(sites.len()) {
-            let next = &next;
-            handles.push(scope.spawn(move |_| {
-                let mut local = CampaignResult::default();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&site) = sites.get(i) else { break };
-                    local.record(experiment.test_fault(golden, site));
-                }
-                local
-            }));
-        }
-        for h in handles {
-            result.merge(&h.join().expect("fault-sim worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    result
+    let grader = ExperimentGrader { experiment, golden };
+    run_campaign_graded(&grader, faults, threads).0
 }
-
 
 /// Like [`run_campaign`] but returns the per-fault verdicts (in fault-list
 /// order) alongside the aggregate — for diagnosis, dashboards, or the
@@ -129,41 +276,10 @@ pub fn run_campaign_detailed(
     faults: &FaultList,
     threads: usize,
 ) -> (CampaignResult, Vec<(FaultSite, Verdict)>) {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    };
-    let sites = faults.sites();
-    let records = Mutex::new(vec![None::<Verdict>; sites.len()]);
-    if !sites.is_empty() {
-        let next = AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads.min(sites.len()) {
-                let next = &next;
-                let records = &records;
-                scope.spawn(move |_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&site) = sites.get(i) else { break };
-                    let verdict = experiment.test_fault(golden, site);
-                    records.lock().expect("records lock")[i] = Some(verdict);
-                });
-            }
-        })
-        .expect("crossbeam scope");
-    }
-    let verdicts: Vec<(FaultSite, Verdict)> = sites
-        .iter()
-        .zip(records.into_inner().expect("records lock"))
-        .map(|(&s, v)| (s, v.expect("every fault graded")))
-        .collect();
-    let mut result = CampaignResult::default();
-    for &(_, v) in &verdicts {
-        result.record(v);
-    }
-    (result, verdicts)
+    let grader = ExperimentGrader { experiment, golden };
+    let (result, records, _) = run_campaign_graded(&grader, faults, threads);
+    (result, records)
 }
-
 
 /// Buckets per-fault verdicts by element category — the diagnostic view
 /// of where a routine's coverage holes are.
@@ -210,7 +326,6 @@ pub fn summarize_by_category(
     buckets.into_iter().map(|(k, (d, t))| (k, d, t)).collect()
 }
 
-
 /// Runs a campaign over the *collapsed* fault universe and reports
 /// coverage against the uncollapsed totals — the way commercial fault
 /// simulators spend their cycles. Typically 30–40 % fewer simulations
@@ -235,6 +350,7 @@ pub fn run_campaign_collapsed(
             Verdict::UnexpectedTrap => result.unexpected_trap += n,
             Verdict::Hang => result.hang += n,
             Verdict::Undetected => result.undetected += n,
+            Verdict::SimError => result.sim_errors += n,
         }
     }
     result

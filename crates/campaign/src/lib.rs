@@ -37,15 +37,20 @@
 //! ```
 
 pub mod ablation;
+mod checkpoint;
 mod experiment;
 pub mod split;
 mod faultsim;
 pub mod tables;
 
+pub use checkpoint::{
+    fingerprint, resume_campaign, resume_campaign_graded, Checkpoint, CheckpointConfig,
+    CheckpointError, ResumableOutcome, CHECKPOINT_VERSION,
+};
 pub use experiment::{ExecStyle, Experiment, ExperimentConfig, Observation, RoutineFactory};
 pub use faultsim::{
-    run_campaign, run_campaign_collapsed, run_campaign_detailed, summarize_by_category,
-    CampaignResult,
+    run_campaign, run_campaign_collapsed, run_campaign_detailed, run_campaign_graded,
+    summarize_by_category, CampaignError, CampaignResult, ExperimentGrader, FaultGrader,
 };
 
 use sbst_cpu::CoreKind;

@@ -16,7 +16,7 @@ use sbst_stl::routines::ForwardingTest;
 use sbst_stl::{plan_cached, wrap_cached, RoutineEnv, WrapConfig, WrapError};
 
 /// Outcome of the split-vs-whole comparison.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SplitComparison {
     /// Number of parts the routine was split into.
     pub parts: usize,
@@ -111,16 +111,15 @@ fn grade_each(
     let sites = faults.sites();
     let mut out = vec![false; sites.len()];
     let chunk_size = sites.len().div_ceil(threads).max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (chunk, sites) in out.chunks_mut(chunk_size).zip(sites.chunks(chunk_size)) {
             let run_one = &run_one;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (o, &site) in chunk.iter_mut().zip(sites) {
                     *o = run_one(FaultPlane::armed(site));
                 }
             });
         }
-    })
-    .expect("scope");
+    });
     out
 }

@@ -59,7 +59,7 @@ impl Effort {
 // ---------------------------------------------------------------------
 
 /// One row of Table I: stall cycles vs number of active cores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Table1Row {
     /// Active cores.
     pub active_cores: usize,
@@ -155,7 +155,7 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 // ---------------------------------------------------------------------
 
 /// One row of Table II: forwarding-logic fault simulation.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table2Row {
     /// Core (0 = A, 1 = B, 2 = C).
     pub core: usize,
@@ -242,7 +242,7 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
 // ---------------------------------------------------------------------
 
 /// One row of Table III: ICU / HDCU fault simulation.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table3Row {
     /// Core (0 = A, 1 = B, 2 = C).
     pub core: usize,
@@ -320,7 +320,7 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
 // ---------------------------------------------------------------------
 
 /// One row of Table IV: TCM-based vs cache-based execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Table4Row {
     /// `"TCM-based"` or `"Cache-based"`.
     pub approach: &'static str,

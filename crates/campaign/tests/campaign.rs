@@ -220,7 +220,8 @@ fn every_major_fault_category_is_detectable() {
     // important element class, at least one sampled site must be
     // detected by the unit's own routine under the cached wrapper.
     use sbst_fault::Element;
-    let categories: [(Unit, fn(&Element) -> bool, &str); 10] = [
+    type Category = (Unit, fn(&Element) -> bool, &'static str);
+    let categories: [Category; 10] = [
         (Unit::Forwarding, |e| matches!(e, Element::MuxDataIn { .. }), "MuxDataIn"),
         (Unit::Forwarding, |e| matches!(e, Element::MuxSelStem { .. }), "MuxSelStem"),
         (Unit::Forwarding, |e| matches!(e, Element::MuxAndOut { .. }), "MuxAndOut"),

@@ -1,0 +1,205 @@
+//! Campaign robustness: panic isolation (one crashing fault simulation
+//! must not abort the campaign) and checkpoint/resume (an interrupted
+//! campaign finishes later with the identical result).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sbst_campaign::{
+    fingerprint, resume_campaign, resume_campaign_graded, run_campaign, run_campaign_graded,
+    routines_for, Checkpoint, CheckpointConfig, CheckpointError, ExecStyle, Experiment,
+    FaultGrader,
+};
+use sbst_cpu::{unit_fault_list, CoreKind};
+use sbst_fault::{Element, FaultList, FaultSite, Polarity, Unit, Verdict};
+use sbst_soc::Scenario;
+
+/// A fast deterministic grader: verdict is a pure function of the site
+/// (FNV over its debug rendering), optionally panicking on one index.
+struct SyntheticGrader {
+    sites: Vec<FaultSite>,
+    panic_on: Option<usize>,
+    calls: AtomicUsize,
+}
+
+impl SyntheticGrader {
+    fn new(sites: &[FaultSite]) -> SyntheticGrader {
+        SyntheticGrader { sites: sites.to_vec(), panic_on: None, calls: AtomicUsize::new(0) }
+    }
+
+    fn verdict_of(site: FaultSite) -> Verdict {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in format!("{site:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        match h % 5 {
+            0 => Verdict::WrongSignature,
+            1 => Verdict::TestFail,
+            2 => Verdict::UnexpectedTrap,
+            3 => Verdict::Hang,
+            _ => Verdict::Undetected,
+        }
+    }
+}
+
+impl FaultGrader for SyntheticGrader {
+    fn grade(&self, site: FaultSite) -> Verdict {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(idx) = self.panic_on {
+            if self.sites[idx] == site {
+                panic!("injected simulator defect at fault #{idx}");
+            }
+        }
+        SyntheticGrader::verdict_of(site)
+    }
+}
+
+fn synthetic_faults(n: u16) -> FaultList {
+    (0..n)
+        .map(|i| FaultSite {
+            unit: Unit::Hdcu,
+            instance: i,
+            element: Element::StallLine { line: (i % 7) as u8 },
+            polarity: if i % 2 == 0 { Polarity::StuckAt0 } else { Polarity::StuckAt1 },
+        })
+        .collect()
+}
+
+fn scratch_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("det-sbst-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+#[test]
+fn panicking_fault_is_recorded_and_the_rest_are_unaffected() {
+    let faults = synthetic_faults(40);
+    let clean = run_campaign_graded(&SyntheticGrader::new(faults.sites()), &faults, 4);
+
+    let mut grader = SyntheticGrader::new(faults.sites());
+    grader.panic_on = Some(17);
+    let (result, records, errors) = run_campaign_graded(&grader, &faults, 4);
+
+    // The campaign completed: every fault has a verdict.
+    assert_eq!(result.total, faults.len());
+    assert_eq!(result.sim_errors, 1);
+    assert_eq!(records[17].1, Verdict::SimError);
+    // The crash names the offending site with the panic message.
+    assert_eq!(errors.len(), 1);
+    assert_eq!(errors[0].site, Some(faults.sites()[17]));
+    assert_eq!(errors[0].index, 17);
+    assert!(errors[0].message.contains("injected simulator defect"), "{}", errors[0].message);
+    // Every other verdict is identical to the crash-free campaign.
+    for (i, (site, verdict)) in records.iter().enumerate() {
+        if i != 17 {
+            assert_eq!((site, verdict), (&clean.1[i].0, &clean.1[i].1), "fault #{i}");
+        }
+    }
+    // Coverage arithmetic treats the crashed sim as proven-nothing.
+    assert_eq!(result.detected() + result.undetected + result.sim_errors, result.total);
+}
+
+#[test]
+fn interrupted_campaign_resumes_to_the_identical_result() {
+    let faults = synthetic_faults(60);
+    let uninterrupted = run_campaign_graded(&SyntheticGrader::new(faults.sites()), &faults, 3);
+
+    let path = scratch_path("resume.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+    // Grade in slices of 17 — each invocation "dies" after max_new new
+    // faults, exactly like a killed process whose last checkpoint held
+    // that many verdicts.
+    let mut invocations = 0;
+    loop {
+        invocations += 1;
+        let grader = SyntheticGrader::new(faults.sites());
+        let cfg = CheckpointConfig {
+            path: path.clone(),
+            every: 5,
+            max_new: Some(17),
+        };
+        let outcome = resume_campaign_graded(&grader, &faults, 3, &cfg).expect("slice");
+        assert!(outcome.newly_graded <= 17);
+        // Resumption must *skip* already-graded sites, not re-simulate.
+        assert_eq!(grader.calls.load(Ordering::Relaxed), outcome.newly_graded);
+        if outcome.complete {
+            assert_eq!(outcome.result, uninterrupted.0, "resumed != uninterrupted");
+            assert_eq!(outcome.records, uninterrupted.1);
+            break;
+        }
+        assert!(invocations < 20, "never converged");
+    }
+    assert_eq!(invocations, 60usize.div_ceil(17), "one invocation per slice");
+
+    // A second full resume over the finished checkpoint re-simulates
+    // nothing and reproduces the result again.
+    let grader = SyntheticGrader::new(faults.sites());
+    let cfg = CheckpointConfig::new(path.clone());
+    let again = resume_campaign_graded(&grader, &faults, 3, &cfg).expect("noop resume");
+    assert_eq!(grader.calls.load(Ordering::Relaxed), 0);
+    assert_eq!(again.result, uninterrupted.0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_for_a_different_fault_list_is_rejected() {
+    let faults = synthetic_faults(10);
+    let other = synthetic_faults(11);
+    let path = scratch_path("mismatch.ckpt.json");
+    Checkpoint::new(&other).save(&path).expect("save");
+    let grader = SyntheticGrader::new(faults.sites());
+    let err = resume_campaign_graded(&grader, &faults, 1, &CheckpointConfig::new(path.clone()))
+        .expect_err("fingerprint mismatch");
+    match err {
+        CheckpointError::FingerprintMismatch { found, expected } => {
+            assert_eq!(found, fingerprint(&other));
+            assert_eq!(expected, fingerprint(&faults));
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_file_on_disk_tracks_progress() {
+    let faults = synthetic_faults(12);
+    let path = scratch_path("progress.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+    let grader = SyntheticGrader::new(faults.sites());
+    let cfg = CheckpointConfig { path: path.clone(), every: 1, max_new: Some(5) };
+    let outcome = resume_campaign_graded(&grader, &faults, 1, &cfg).expect("slice");
+    assert!(!outcome.complete);
+    assert_eq!(outcome.newly_graded, 5);
+    let on_disk = Checkpoint::load(&path).expect("loads");
+    assert_eq!(on_disk.completed(), 5);
+    assert_eq!(on_disk.fingerprint, fingerprint(&faults));
+    assert!(!on_disk.is_complete());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The production path: a real (sampled) experiment graded via
+/// `resume_campaign` in one go matches `run_campaign` exactly.
+#[test]
+fn resumed_experiment_campaign_matches_direct_run() {
+    let factory = routines_for(Unit::Icu);
+    let exp = Experiment::assemble(
+        &*factory,
+        CoreKind::A,
+        ExecStyle::CacheWrapped,
+        &Scenario::single_core(),
+    )
+    .expect("experiment");
+    let golden = exp.golden();
+    let faults = unit_fault_list(CoreKind::A, Unit::Icu).sample(60);
+    let direct = run_campaign(&exp, &golden, &faults, 0);
+
+    let path = scratch_path("experiment.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+    let outcome = resume_campaign(&exp, &golden, &faults, 0, &CheckpointConfig::new(path.clone()))
+        .expect("resumable campaign");
+    assert!(outcome.complete);
+    assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+    assert_eq!(outcome.result, direct);
+    let _ = std::fs::remove_file(&path);
+}

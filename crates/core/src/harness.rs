@@ -22,6 +22,22 @@ pub struct RunReport {
     pub cycles: u64,
 }
 
+/// Derives a fault-free cycle budget for a wrapped program: enough for
+/// every instruction to be fetched from Flash once plus re-executed
+/// from cache, with generous slack for bus contention and the loading
+/// loop — a clean run halts long before this; only a defective one
+/// (or an armed fault) ever reaches it.
+pub fn derive_cycle_budget(asm: &Asm) -> u64 {
+    200_000 + 1_024 * asm.len() as u64
+}
+
+/// The cycle budget for a fault-free run of `asm` under `env`: an
+/// explicit [`RoutineEnv::cycle_budget`] wins, else one is derived from
+/// the program size.
+pub fn cycle_budget_for(env: &RoutineEnv, asm: &Asm) -> u64 {
+    env.cycle_budget.unwrap_or_else(|| derive_cycle_budget(asm))
+}
+
 /// Runs `asm` standalone on a single core and reads the mailbox at
 /// `env.result_addr`.
 ///
@@ -83,7 +99,7 @@ pub fn learn_golden_cached(
         true,
         base,
         FaultPlane::fault_free(),
-        20_000_000,
+        cycle_budget_for(env, &asm),
     );
     assert!(
         report.outcome.is_clean(),

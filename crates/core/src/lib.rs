@@ -58,11 +58,17 @@ mod routine;
 pub mod routines;
 pub mod sched;
 mod signature;
+pub mod supervisor;
 mod text_routine;
 mod wrap;
 
 pub use catalog::{BootImage, BootReport, BootVerdict, CatalogEntry, GoldenDb, StlCatalog};
-pub use harness::{finish, learn_golden_cached, run_standalone, RunReport};
+pub use harness::{
+    cycle_budget_for, derive_cycle_budget, finish, learn_golden_cached, run_standalone, RunReport,
+};
+pub use supervisor::{
+    CoreVerdict, DegradedReport, QuarantineCause, Supervisor, SupervisorConfig,
+};
 pub use routine::{
     emit_pc_anchor, RoutineEnv, SelfTestRoutine, RESULT_SIG_OFF, RESULT_STATUS_OFF, STATUS_DONE,
     STATUS_FAIL, STATUS_PASS,

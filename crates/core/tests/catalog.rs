@@ -43,7 +43,7 @@ fn injected_fault_fails_exactly_the_targeting_routine() {
         polarity: Polarity::StuckAt1,
     };
     let mut builder = SocBuilder::new();
-    for &(_, _, ref p) in image.programs() {
+    for (_, _, p) in image.programs() {
         builder = builder.load(p);
     }
     for (i, &(core, base, _)) in image.programs().iter().enumerate() {

@@ -79,11 +79,11 @@ fn run_contended(
         CoreConfig::uncached(kind, 0, base)
     };
     builder = builder.core(cfg0, delays[0]);
-    for core in 1..active {
+    for (core, &delay) in delays.iter().enumerate().take(active).skip(1) {
         let kind = CoreKind::ALL[core];
         builder = builder.core(
             CoreConfig::uncached(kind, core, scenario.code_base(core)),
-            delays[core],
+            delay,
         );
     }
     let mut soc = builder.build();
@@ -358,10 +358,10 @@ fn scheduler_runs_parallel_stl_on_three_cores() {
     let mut soc = builder.build();
     let outcome = soc.run(MAX);
     assert!(outcome.is_clean(), "{outcome:?}");
-    for core in 0..3usize {
+    for (core, &result_addr) in result_addrs.iter().enumerate() {
         assert_eq!(soc.peek(layout.done_base + 4 * core as u32), 1, "core {core} done");
         for routine in 0..2u32 {
-            let status = soc.peek(result_addrs[core] + 16 * routine + 4);
+            let status = soc.peek(result_addr + 16 * routine + 4);
             assert_eq!(status, STATUS_DONE, "core {core} routine {routine}");
         }
     }
@@ -410,7 +410,10 @@ fn armed_watchdog_catches_a_hung_stl_and_quiet_when_kicked() {
         polarity: Polarity::StuckAt1,
     }));
     let outcome = soc.run(10_000_000);
-    assert_eq!(outcome, sbst_soc::RunOutcome::Watchdog);
+    assert!(
+        matches!(outcome, sbst_soc::RunOutcome::Watchdog { cycles } if cycles == soc.cycle()),
+        "expected a watchdog bite, got {outcome:?}"
+    );
     assert!(soc.bus().watchdog().bitten(), "the peripheral raised the alarm");
     assert!(soc.cycle() < 200_000, "bite came from the peripheral, not the budget");
 }

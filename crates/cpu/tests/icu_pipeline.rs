@@ -85,7 +85,7 @@ fn imprecision_depth_counts_younger_retirements() {
     let core = run(&a, CoreKind::A, 100_000);
     let depth = core.reg(Reg::R11);
     assert!(depth > 0, "warm dual-issue must slip instructions past the addv");
-    assert!(depth <= 2 * RECOG_LAT as u32 + 2, "bounded by the window, got {depth}");
+    assert!(depth <= 2 * RECOG_LAT + 2, "bounded by the window, got {depth}");
 }
 
 #[test]

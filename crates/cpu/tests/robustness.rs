@@ -88,4 +88,52 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn armed_faults_never_panic_the_triple_core_soc(
+        site in arb_site(),
+        victim in 0usize..3,
+    ) {
+        use sbst_soc::{RunOutcome, SocBuilder};
+        let mut builder = SocBuilder::new();
+        let mut bases = Vec::new();
+        for core in 0..3usize {
+            let base = 0x1000 + 0x4_0000 * core as u32;
+            let mut a = Asm::new();
+            let scratch = SRAM_BASE + 0x100 * core as u32;
+            a.li(Reg::R8, scratch);
+            a.li(Reg::R1, 0x7fff_ffff);
+            a.addv(Reg::R2, Reg::R1, Reg::R1);
+            a.sw(Reg::R1, Reg::R8, 0);
+            a.lw(Reg::R3, Reg::R8, 0);
+            a.add(Reg::R4, Reg::R3, Reg::R3);
+            for _ in 0..20 {
+                a.nop();
+            }
+            a.halt();
+            builder = builder.load(&a.assemble(base).expect("assembles"));
+            bases.push(base);
+        }
+        for (core, &base) in bases.iter().enumerate() {
+            builder = builder.core(
+                CoreConfig::cached(CoreKind::ALL[core], core, base),
+                core as u32 * 3,
+            );
+        }
+        let mut soc = builder.build();
+        soc.core_mut(victim).set_plane(FaultPlane::armed(site));
+        // The whole SoC must survive any armed fault: `run` must come
+        // back (halt, trap, or budget expiry), never panic, and never
+        // simulate past its budget.
+        let budget = 120_000;
+        let outcome = soc.run(budget);
+        prop_assert!(soc.cycle() <= budget, "ran past the budget: {}", soc.cycle());
+        match outcome {
+            RunOutcome::AllHalted { cycles }
+            | RunOutcome::FatalTrap { cycles, .. }
+            | RunOutcome::Watchdog { cycles } => {
+                prop_assert_eq!(cycles, soc.cycle());
+            }
+        }
+    }
 }

@@ -1,11 +1,9 @@
 //! Fault lists and simulation verdicts.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{FaultSite, Unit};
 
 /// Outcome of simulating one fault against one test program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Verdict {
     /// Final signature differed from the golden one.
     WrongSignature,
@@ -18,25 +16,54 @@ pub enum Verdict {
     Hang,
     /// The fault produced no observable difference.
     Undetected,
+    /// The simulation of this fault crashed (a harness defect, not a
+    /// property of the silicon): the campaign records it and moves on
+    /// instead of aborting — see `sbst-campaign`'s panic isolation.
+    SimError,
 }
 
 impl Verdict {
     /// Whether this verdict counts as a detection for fault coverage.
+    /// A crashed simulation proves nothing about the fault, so
+    /// [`SimError`](Verdict::SimError) does not count.
     pub fn is_detected(self) -> bool {
-        !matches!(self, Verdict::Undetected)
+        !matches!(self, Verdict::Undetected | Verdict::SimError)
     }
-}
 
-impl std::fmt::Display for Verdict {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+    /// Whether the simulation itself failed (no verdict about silicon).
+    pub fn is_sim_error(self) -> bool {
+        matches!(self, Verdict::SimError)
+    }
+
+    /// Stable text tag (checkpoint format, reports).
+    pub fn tag(self) -> &'static str {
+        match self {
             Verdict::WrongSignature => "wrong-signature",
             Verdict::TestFail => "test-fail",
             Verdict::UnexpectedTrap => "unexpected-trap",
             Verdict::Hang => "hang",
             Verdict::Undetected => "undetected",
-        };
-        f.write_str(s)
+            Verdict::SimError => "sim-error",
+        }
+    }
+
+    /// Parses a [`tag`](Verdict::tag) back into a verdict.
+    pub fn from_tag(tag: &str) -> Option<Verdict> {
+        Some(match tag {
+            "wrong-signature" => Verdict::WrongSignature,
+            "test-fail" => Verdict::TestFail,
+            "unexpected-trap" => Verdict::UnexpectedTrap,
+            "hang" => Verdict::Hang,
+            "undetected" => Verdict::Undetected,
+            "sim-error" => Verdict::SimError,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
     }
 }
 

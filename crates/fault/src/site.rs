@@ -1,9 +1,7 @@
 //! Fault-site vocabulary.
 
-use serde::{Deserialize, Serialize};
-
 /// Stuck-at polarity of a fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Polarity {
     /// The faulty line permanently reads logic 0.
     StuckAt0,
@@ -31,7 +29,7 @@ impl Polarity {
 
 /// The CPU unit a fault site belongs to — the three units the paper's
 /// experiments target.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Unit {
     /// Forwarding logic: the operand-bypass and result-collect muxes.
     Forwarding,
@@ -69,7 +67,7 @@ impl std::fmt::Display for Unit {
 /// [`gates::cmp_eq`](crate::gates::cmp_eq)). The remaining elements are
 /// control lines and latch pins referenced directly by the HDCU/ICU
 /// models in `sbst-cpu`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // field meanings documented on each variant
 pub enum Element {
     // ---- one-hot AND–OR multiplexer --------------------------------
@@ -132,7 +130,7 @@ pub enum Element {
 }
 
 /// One injectable fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FaultSite {
     /// Owning unit.
     pub unit: Unit,

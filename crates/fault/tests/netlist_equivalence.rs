@@ -196,8 +196,8 @@ proptest! {
         valid in any::<bool>(),
     ) {
         prop_assert_eq!(
-            gates::cmp_eq(a, b, bits as u8, valid, None),
-            netlist_cmp(a, b, bits as u8, valid, None)
+            gates::cmp_eq(a, b, bits, valid, None),
+            netlist_cmp(a, b, bits, valid, None)
         );
     }
 }

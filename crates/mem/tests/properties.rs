@@ -170,9 +170,9 @@ proptest! {
         let mut bus = empty_bus(3);
         let mut served = [0u32; 3];
         for _ in 0..cycles {
-            for p in 0..3 {
+            for (p, count) in served.iter_mut().enumerate() {
                 if bus.response(p).is_some() {
-                    served[p] += 1;
+                    *count += 1;
                 }
                 if !bus.port_busy(p) {
                     bus.request(p, BusRequest::read(SRAM_BASE + p as u32 * 64));

@@ -22,7 +22,10 @@ pub enum RunOutcome {
         cycles: u64,
     },
     /// The cycle budget ran out (the in-field watchdog case).
-    Watchdog,
+    Watchdog {
+        /// Cycle at which the watchdog bit (or the budget expired).
+        cycles: u64,
+    },
 }
 
 impl RunOutcome {
@@ -208,9 +211,9 @@ impl Soc {
                 return RunOutcome::AllHalted { cycles: self.cycle };
             }
             if self.bus.watchdog().bitten() {
-                return RunOutcome::Watchdog;
+                return RunOutcome::Watchdog { cycles: self.cycle };
             }
         }
-        RunOutcome::Watchdog
+        RunOutcome::Watchdog { cycles: self.cycle }
     }
 }

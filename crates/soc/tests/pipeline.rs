@@ -245,7 +245,7 @@ fn imprecise_overflow_trap_with_handler() {
 
 #[test]
 fn imprecision_depth_differs_between_cached_and_uncached() {
-    let mut handler_asm = |_: ()| {
+    let handler_asm = |_: ()| {
         let mut a = Asm::new();
         a.j("main");
         a.align(16);
@@ -308,7 +308,7 @@ fn amoswap_lock_between_two_cores() {
         a.halt();
         a.assemble(base).unwrap()
     };
-    let mut soc = SocBuilder::new()
+    let soc = SocBuilder::new()
         .load(&build(0x1000))
         .load(&build(0x8000))
         .core(CoreConfig::cached(CoreKind::A, 0, 0x1000), 0)

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = RoutineEnv::for_core(kind);
     let mut cfg = WrapConfig::default();
     let golden = learn_golden_cached(&routine, &env, &cfg, kind, 0x400)?;
-    println!("custom routine `{}` golden signature: {golden:#010x}", "shifter-walk");
+    println!("custom routine `shifter-walk` golden signature: {golden:#010x}");
 
     cfg.expected_sig = Some(golden);
     let asm = wrap_cached(&routine, &env, &cfg, "user")?;

@@ -1,0 +1,63 @@
+//! Fault-tolerant boot: the STL supervisor runs the parallel boot test
+//! under a watchdog, retries a hung core with cold caches and an
+//! escalating budget, quarantines it when the retries are exhausted,
+//! and still completes the self-test on the healthy cores.
+//!
+//! Core 1 is armed with a stuck-at-1 stall line in its hazard unit — a
+//! fault that hangs the pipeline, so only the watchdog can report it.
+//!
+//! ```sh
+//! cargo run --release --example degraded_boot
+//! ```
+
+use det_sbst::cpu::{CoreKind, HDCU_CTRL};
+use det_sbst::fault::{Element, FaultPlane, FaultSite, Polarity, Unit};
+use det_sbst::mem::SRAM_BASE;
+use det_sbst::stl::routines::{GenericAluTest, RegFileTest};
+use det_sbst::stl::sched::CoreStl;
+use det_sbst::stl::{RoutineEnv, Supervisor, SupervisorConfig};
+
+fn stl_for(core: usize) -> CoreStl {
+    let env = RoutineEnv {
+        result_addr: SRAM_BASE + 0x2000 + 0x100 * core as u32,
+        data_base: SRAM_BASE + 0x5000 + 0x400 * core as u32,
+        ..RoutineEnv::for_core(CoreKind::ALL[core])
+    };
+    CoreStl::new(
+        vec![Box::new(RegFileTest::new()), Box::new(GenericAluTest::new(3))],
+        env,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sup = Supervisor::new(SupervisorConfig {
+        max_retries: 2,
+        watchdog_timeout: 150_000,
+        base_budget: 2_000_000,
+        ..Default::default()
+    });
+    for core in 0..3 {
+        sup.add_core(core, stl_for(core));
+    }
+
+    // Break core 1's silicon: a stuck stall line that hangs its pipeline.
+    sup.set_plane(
+        1,
+        FaultPlane::armed(FaultSite {
+            unit: Unit::Hdcu,
+            instance: HDCU_CTRL,
+            element: Element::StallLine { line: 4 },
+            polarity: Polarity::StuckAt1,
+        }),
+    );
+
+    println!("running the supervised boot test (core 1 silicon is broken)...\n");
+    let report = sup.run()?;
+    println!("{report}");
+
+    println!("\ndegraded boot: {}", report.degraded());
+    println!("quarantined cores: {:?}", report.quarantined());
+    assert!(report.degraded());
+    assert_eq!(report.quarantined(), vec![1]);
+    Ok(())
+}
