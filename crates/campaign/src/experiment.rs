@@ -8,7 +8,7 @@ use sbst_mem::CacheConfig;
 use sbst_fault::{FaultPlane, FaultSite, Verdict};
 use sbst_isa::AsmError;
 use sbst_mem::{FlashImage, SRAM_BASE};
-use sbst_soc::{RunOutcome, Scenario, SocBuilder};
+use sbst_soc::{RunOutcome, Scenario, Soc, SocBuilder};
 use sbst_stl::routines::GenericAluTest;
 use sbst_stl::{
     wrap_cached, wrap_sequence, RoutineEnv, SelfTestRoutine, WrapConfig, WrapError,
@@ -81,6 +81,48 @@ pub struct Observation {
     pub if_stalls: u64,
     /// Memory-stage stall cycles.
     pub mem_stalls: u64,
+}
+
+/// A golden-prefix snapshot of one experiment's SoC — the campaign
+/// fast path.
+///
+/// Captured once per experiment at the last cycle *before* the core
+/// under test issues its first instruction. Faults are armed only on
+/// that core, and the fault plane is consulted exclusively by its
+/// issue/execute/ICU logic (fetch and LSU never see it), so up to the
+/// snapshot point a faulty run and the golden run are cycle-identical:
+/// grading a fault can clone this state, arm the plane, and simulate
+/// only the tail instead of re-booting the whole SoC from cycle 0.
+/// The one unit active before first issue is the ICU (its tick runs
+/// every cycle); verdict equivalence over full collapsed fault lists —
+/// ICU faults included — is asserted by the warm-start test suite.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    soc: Soc,
+    /// Absolute cycle budget of a warm run: the *same* golden-calibrated
+    /// cutoff (`golden×4 + 20_000`) the cold path passes to `Soc::run`,
+    /// so the halted-by-the-deadline decision — and with it the hang
+    /// verdict — is bit-identical between the two paths. A tighter
+    /// budget (1.5× the golden tail) was tried and rejected: the
+    /// equivalence suite found faults that *finish* at 2.4–2.8× golden
+    /// (e.g. a stuck EPC bit re-executing code after every trap), which
+    /// such a budget misclassifies as hangs. The fast path's win comes
+    /// from skipping the prefix and from the early core-under-test halt
+    /// exit, not from cutting hangs short.
+    budget: u64,
+}
+
+impl Snapshot {
+    /// Cycle at which the snapshot was captured (the fault-free prefix
+    /// every warm run skips).
+    pub fn cycle(&self) -> u64 {
+        self.soc.cycle()
+    }
+
+    /// The warm run's absolute cycle budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
 }
 
 /// A fully configured experiment, cheap to re-run with different armed
@@ -301,6 +343,12 @@ impl Experiment {
         let mut soc = self.builder.build_shared(Arc::clone(&self.image));
         soc.core_mut(0).set_plane(plane);
         let outcome = soc.run(self.watchdog);
+        self.observe(&soc, outcome)
+    }
+
+    /// Reads the core under test's mailboxes and counters off a stopped
+    /// SoC.
+    fn observe(&self, soc: &Soc, outcome: RunOutcome) -> Observation {
         let c = soc.core(0).counters();
         let mut signature = 0u32;
         let mut status = STATUS_DONE;
@@ -319,6 +367,65 @@ impl Experiment {
             if_stalls: c.if_stalls,
             mem_stalls: c.mem_stalls,
         }
+    }
+
+    /// Captures the warm-start [`Snapshot`]: the SoC state immediately
+    /// before the step in which the core under test issues its first
+    /// instruction (issue precedes fetch within a step, so this is the
+    /// last state no instruction of that core has influenced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core under test never issues within the golden
+    /// cycle count — that would mean the golden run itself was broken.
+    pub fn snapshot(&self, golden: &Observation) -> Snapshot {
+        let mut soc = self.builder.build_shared(Arc::clone(&self.image));
+        let mut prev = soc.clone();
+        while soc.core(0).instructions_issued() == 0 {
+            prev = soc.clone();
+            soc.step();
+            assert!(
+                soc.cycle() <= golden.cycles,
+                "core under test never issued within the golden run"
+            );
+        }
+        Snapshot { budget: self.watchdog, soc: prev }
+    }
+
+    /// Runs one fault from `snapshot` instead of from reset: clones the
+    /// snapshot, arms `plane` on the core under test and simulates only
+    /// the tail, stopping as soon as the verdict is decided —
+    ///
+    /// - any fatal trap decides [`Verdict::UnexpectedTrap`];
+    /// - the core under test halting decides the signature/status
+    ///   comparison: halting requires a drained pipeline and quiescent
+    ///   LSU, so its mailbox writes have reached SRAM, and the other
+    ///   cores are fault-free and deterministic — they always halt
+    ///   cleanly exactly as in the golden run, so waiting for them
+    ///   cannot change the classification;
+    /// - the golden-calibrated [`Snapshot::budget`] expiring (or the
+    ///   software watchdog biting) decides [`Verdict::Hang`].
+    pub fn run_warm(&self, snapshot: &Snapshot, plane: FaultPlane) -> Observation {
+        let mut soc = snapshot.soc.clone();
+        soc.core_mut(0).set_plane(plane);
+        let outcome = loop {
+            if soc.cycle() >= snapshot.budget {
+                break RunOutcome::Watchdog { cycles: soc.cycle() };
+            }
+            soc.step();
+            if let Some(core) =
+                (0..soc.core_count()).find(|&i| soc.core(i).fatal_trap())
+            {
+                break RunOutcome::FatalTrap { core, cycles: soc.cycle() };
+            }
+            if soc.core(0).halted() {
+                break RunOutcome::AllHalted { cycles: soc.cycle() };
+            }
+            if soc.bus().watchdog().bitten() {
+                break RunOutcome::Watchdog { cycles: soc.cycle() };
+            }
+        };
+        self.observe(&soc, outcome)
     }
 
     /// Runs fault-free (the golden reference of this scenario).
@@ -350,6 +457,17 @@ impl Experiment {
     /// Convenience: run one fault and classify it.
     pub fn test_fault(&self, golden: &Observation, site: FaultSite) -> Verdict {
         let faulty = self.run(FaultPlane::armed(site));
+        Experiment::classify(golden, &faulty)
+    }
+
+    /// Convenience: grade one fault through the warm-start fast path.
+    pub fn test_fault_warm(
+        &self,
+        golden: &Observation,
+        snapshot: &Snapshot,
+        site: FaultSite,
+    ) -> Verdict {
+        let faulty = self.run_warm(snapshot, FaultPlane::armed(site));
         Experiment::classify(golden, &faulty)
     }
 }

@@ -15,7 +15,7 @@ use std::sync::Mutex;
 
 use sbst_fault::{FaultList, FaultSite, Verdict};
 
-use crate::experiment::{Experiment, Observation};
+use crate::experiment::{Experiment, Observation, Snapshot};
 
 /// Grades one fault site into a [`Verdict`] — the seam the campaign
 /// engine runs behind. The production implementation is an
@@ -37,6 +37,25 @@ pub struct ExperimentGrader<'a> {
 impl FaultGrader for ExperimentGrader<'_> {
     fn grade(&self, site: FaultSite) -> Verdict {
         self.experiment.test_fault(self.golden, site)
+    }
+}
+
+/// The warm-start grader: clones the golden-prefix [`Snapshot`] per
+/// fault and simulates only the tail with early-verdict exit (the
+/// campaign fast path; verdict-equivalent to [`ExperimentGrader`],
+/// asserted by the warm-start test suite).
+pub struct WarmExperimentGrader<'a> {
+    /// The configured experiment.
+    pub experiment: &'a Experiment,
+    /// Its golden observation.
+    pub golden: &'a Observation,
+    /// The golden-prefix snapshot (see [`Experiment::snapshot`]).
+    pub snapshot: &'a Snapshot,
+}
+
+impl FaultGrader for WarmExperimentGrader<'_> {
+    fn grade(&self, site: FaultSite) -> Verdict {
+        self.experiment.test_fault_warm(self.golden, self.snapshot, site)
     }
 }
 
@@ -164,9 +183,14 @@ pub(crate) fn resolve_threads(threads: usize) -> usize {
 /// holds `None`, writing verdicts in place and appending crash reports
 /// to `errors`. Panics inside `grader.grade` become
 /// [`Verdict::SimError`]; worker join failures become site-less
-/// [`CampaignError`]s. `on_done` runs under the same lock that
-/// publishes each verdict, so checkpoint writers observe a consistent
-/// snapshot.
+/// [`CampaignError`]s. `on_done` receives a snapshot of the slots
+/// cloned under the lock that published the verdict — a consistent
+/// state of the campaign at some publication point — but runs *outside*
+/// it, so a slow observer (checkpoint serialization, file I/O) never
+/// serializes the grading workers. Observers must therefore tolerate
+/// snapshots arriving out of order: two workers can publish a, then b,
+/// yet deliver b's snapshot first (the checkpoint writer handles this
+/// with a monotonic done-count guard).
 pub(crate) fn grade_pending(
     grader: &dyn FaultGrader,
     sites: &[FaultSite],
@@ -209,9 +233,12 @@ pub(crate) fn grade_pending(
                         Verdict::SimError
                     }
                 };
-                let mut slots = pending.lock().expect("verdict slots");
-                slots[i] = Some(verdict);
-                on_done(&slots);
+                let snapshot = {
+                    let mut slots = pending.lock().expect("verdict slots");
+                    slots[i] = Some(verdict);
+                    slots.clone()
+                };
+                on_done(&snapshot);
             }));
         }
         for h in handles {
@@ -277,6 +304,34 @@ pub fn run_campaign_detailed(
     threads: usize,
 ) -> (CampaignResult, Vec<(FaultSite, Verdict)>) {
     let grader = ExperimentGrader { experiment, golden };
+    let (result, records, _) = run_campaign_graded(&grader, faults, threads);
+    (result, records)
+}
+
+/// [`run_campaign`] through the warm-start fast path: the golden-prefix
+/// snapshot is captured once, then every fault clones it and simulates
+/// only the tail with early-verdict exit. Verdict-equivalent to the
+/// cold path (asserted over full collapsed fault lists by the
+/// warm-start test suite), several times faster on hang-heavy lists.
+pub fn run_campaign_warm(
+    experiment: &Experiment,
+    golden: &Observation,
+    faults: &FaultList,
+    threads: usize,
+) -> CampaignResult {
+    run_campaign_warm_detailed(experiment, golden, faults, threads).0
+}
+
+/// Like [`run_campaign_warm`] but returns the per-fault verdicts (in
+/// fault-list order) alongside the aggregate.
+pub fn run_campaign_warm_detailed(
+    experiment: &Experiment,
+    golden: &Observation,
+    faults: &FaultList,
+    threads: usize,
+) -> (CampaignResult, Vec<(FaultSite, Verdict)>) {
+    let snapshot = experiment.snapshot(golden);
+    let grader = WarmExperimentGrader { experiment, golden, snapshot: &snapshot };
     let (result, records, _) = run_campaign_graded(&grader, faults, threads);
     (result, records)
 }

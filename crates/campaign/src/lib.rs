@@ -47,10 +47,13 @@ pub use checkpoint::{
     fingerprint, resume_campaign, resume_campaign_graded, Checkpoint, CheckpointConfig,
     CheckpointError, ResumableOutcome, CHECKPOINT_VERSION,
 };
-pub use experiment::{ExecStyle, Experiment, ExperimentConfig, Observation, RoutineFactory};
+pub use experiment::{
+    ExecStyle, Experiment, ExperimentConfig, Observation, RoutineFactory, Snapshot,
+};
 pub use faultsim::{
     run_campaign, run_campaign_collapsed, run_campaign_detailed, run_campaign_graded,
-    summarize_by_category, CampaignError, CampaignResult, ExperimentGrader, FaultGrader,
+    run_campaign_warm, run_campaign_warm_detailed, summarize_by_category, CampaignError,
+    CampaignResult, ExperimentGrader, FaultGrader, WarmExperimentGrader,
 };
 
 use sbst_cpu::CoreKind;

@@ -103,11 +103,7 @@ fn grade_each(
             _ => true, // hang or fatal trap: detected
         }
     };
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    };
+    let threads = crate::faultsim::resolve_threads(threads);
     let sites = faults.sites();
     let mut out = vec![false; sites.len()];
     let chunk_size = sites.len().div_ceil(threads).max(1);

@@ -142,6 +142,57 @@ fn interrupted_campaign_resumes_to_the_identical_result() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// The lock-contention fix's contract: `on_done` observers get slot
+/// snapshots cloned under the publishing lock but run outside it, so a
+/// heavily threaded campaign checkpointing after *every* verdict must
+/// still leave only consistent states on disk — every mid-campaign
+/// checkpoint holds correct verdicts for exactly the faults it claims,
+/// and resuming from any of them converges to the identical result.
+#[test]
+fn every_mid_campaign_checkpoint_is_consistent_and_resumes_identically() {
+    let faults = synthetic_faults(48);
+    let reference = run_campaign_graded(&SyntheticGrader::new(faults.sites()), &faults, 3);
+
+    let path = scratch_path("consistent.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+    let mut slices = 0;
+    let mut graded = 0;
+    loop {
+        slices += 1;
+        let grader = SyntheticGrader::new(faults.sites());
+        // Many workers, a checkpoint per verdict, die every 7 faults:
+        // maximal pressure on the publish/observe seam.
+        let cfg = CheckpointConfig { path: path.clone(), every: 1, max_new: Some(7) };
+        let outcome = resume_campaign_graded(&grader, &faults, 8, &cfg).expect("slice");
+        let on_disk = Checkpoint::load(&path).expect("mid-campaign checkpoint loads");
+        assert_eq!(on_disk.fingerprint, fingerprint(&faults));
+        // Consistency: whatever subset the checkpoint captured, each
+        // recorded verdict is the right one for its site — no torn or
+        // misattributed slots under concurrency.
+        for (i, v) in on_disk.verdicts.iter().enumerate() {
+            if let Some(v) = v {
+                assert_eq!(*v, reference.1[i].1, "fault #{i} verdict corrupted");
+            }
+        }
+        graded += outcome.newly_graded;
+        assert_eq!(
+            on_disk.completed(),
+            graded,
+            "the final checkpoint of a slice must capture every verdict \
+             graded so far (the every=1 writer may not lose the last ones \
+             to out-of-order snapshot delivery)"
+        );
+        if outcome.complete {
+            assert_eq!(outcome.result, reference.0);
+            assert_eq!(outcome.records, reference.1);
+            break;
+        }
+        assert!(slices < 20, "never converged");
+    }
+    assert_eq!(slices, 48usize.div_ceil(7));
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn checkpoint_for_a_different_fault_list_is_rejected() {
     let faults = synthetic_faults(10);

@@ -1,0 +1,119 @@
+//! The paper's central invariant, pinned at integration level: once the
+//! loading loop of a cache-fitting routine has warmed the L1s, the
+//! execution loop runs *entirely* from cache — zero instruction- or
+//! data-cache read misses. This is exactly the invariant a broken LRU
+//! replacement silently violates (an eviction of a just-loaded line
+//! re-introduces nondeterministic misses), so these tests compare the
+//! miss counts of a loading-only run (`iterations = 1`) against a
+//! loading + execution run (`iterations = 2`) under the paper's real
+//! geometries: every miss must happen in the loading loop.
+
+use sbst_cpu::{CoreConfig, CoreKind};
+use sbst_mem::{CacheStats, SRAM_BASE};
+use sbst_soc::{Scenario, SocBuilder};
+use sbst_stl::routines::{ForwardingTest, GenericAluTest};
+use sbst_stl::{
+    wrap_cached, wrap_sequence, RoutineEnv, SelfTestRoutine, WrapConfig, RESULT_STATUS_OFF,
+    STATUS_DONE,
+};
+
+const MAX: u64 = 30_000_000;
+
+fn env() -> RoutineEnv {
+    RoutineEnv {
+        result_addr: SRAM_BASE + 0x40,
+        data_base: SRAM_BASE + 0x100,
+        ..RoutineEnv::for_core(CoreKind::A)
+    }
+}
+
+/// Runs the forwarding routine wrapped with `iterations` loop passes on
+/// a cached core 0 (paper geometry: 8 KiB I$, 4 KiB D$), optionally
+/// with two contending traffic cores, and returns core 0's cache
+/// statistics.
+fn run_wrapped(iterations: u32, contended: bool) -> (CacheStats, CacheStats) {
+    let kind = CoreKind::A;
+    let env = env();
+    let routine = ForwardingTest::without_pcs(kind);
+    let wrap = WrapConfig { iterations, ..WrapConfig::default() };
+    let asm = wrap_cached(&routine, &env, &wrap, "res").expect("routine fits the I$");
+    let scenario = Scenario {
+        active_cores: if contended { 3 } else { 1 },
+        skew_seed: 1,
+        ..Scenario::single_core()
+    };
+    let delays = scenario.start_delays();
+    let base = scenario.code_base(0);
+    let mut builder = SocBuilder::new()
+        .load(&asm.assemble(base).expect("assembles"))
+        .core(CoreConfig::cached(kind, 0, base), delays[0]);
+    for (core, &delay) in delays.iter().enumerate().take(scenario.active_cores).skip(1) {
+        // Traffic cores: unwrapped generic STL churn over the bus.
+        let tenv = RoutineEnv {
+            result_addr: SRAM_BASE + 0x800 + 0x40 * core as u32,
+            data_base: SRAM_BASE + 0x1000 + 0x100 * core as u32,
+            ..env
+        };
+        let traffic = GenericAluTest::new(11);
+        let seq: Vec<&dyn SelfTestRoutine> = vec![&traffic];
+        let twrap = WrapConfig {
+            iterations: 1,
+            invalidate: false,
+            icache_capacity: u32::MAX,
+            ..WrapConfig::default()
+        };
+        let tbase = scenario.code_base(core);
+        let tasm = wrap_sequence(&seq, &tenv, &twrap, &format!("t{core}"));
+        builder = builder
+            .load(&tasm.assemble(tbase).expect("traffic assembles"))
+            .core(CoreConfig::uncached(CoreKind::ALL[core], core, tbase), delay);
+    }
+    let mut soc = builder.build();
+    let outcome = soc.run(MAX);
+    assert!(outcome.is_clean(), "run did not finish: {outcome:?}");
+    assert_eq!(soc.peek(env.result_addr + RESULT_STATUS_OFF as u32), STATUS_DONE);
+    let core = soc.core(0);
+    (
+        core.fetch_unit().icache().expect("cached core").stats(),
+        core.lsu_unit().dcache().expect("cached core").stats(),
+    )
+}
+
+/// Single core: the execution loop adds read *hits* but not one read
+/// miss over the loading loop, in either cache.
+#[test]
+fn execution_loop_takes_zero_read_misses() {
+    let (i1, d1) = run_wrapped(1, false);
+    let (i2, d2) = run_wrapped(2, false);
+    assert!(i1.read_misses > 0, "the loading loop must cold-miss");
+    assert!(
+        i2.read_hits > i1.read_hits,
+        "the second iteration must actually re-execute from the I$"
+    );
+    assert_eq!(
+        i2.read_misses, i1.read_misses,
+        "execution loop took instruction-cache read misses"
+    );
+    assert_eq!(
+        d2.read_misses, d1.read_misses,
+        "execution loop took data-cache read misses"
+    );
+}
+
+/// The same invariant under multi-core bus contention: other cores
+/// perturb *when* the loading loop's misses are served, never whether
+/// the execution loop hits.
+#[test]
+fn execution_loop_takes_zero_read_misses_under_contention() {
+    let (i1, d1) = run_wrapped(1, true);
+    let (i2, d2) = run_wrapped(2, true);
+    assert!(i1.read_misses > 0, "the loading loop must cold-miss");
+    assert_eq!(
+        i2.read_misses, i1.read_misses,
+        "execution loop took instruction-cache read misses under contention"
+    );
+    assert_eq!(
+        d2.read_misses, d1.read_misses,
+        "execution loop took data-cache read misses under contention"
+    );
+}

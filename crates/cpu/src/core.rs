@@ -134,7 +134,7 @@ pub struct StageView {
 /// Drive it by calling [`step`](Core::step) once per cycle with the
 /// shared [`Bus`]; the surrounding SoC (see `sbst-soc`) does this for
 /// all three cores and the bus arbiter.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Core {
     cfg: CoreConfig,
     regs: [u32; 32],
@@ -210,6 +210,14 @@ impl Core {
     /// Whether a trap was recognised with no handler installed.
     pub fn fatal_trap(&self) -> bool {
         self.fatal_trap
+    }
+
+    /// How many instructions have entered the pipeline so far. Issue
+    /// happens before fetch within a step, so the state *before* the
+    /// step in which this first becomes non-zero is the last point at
+    /// which no instruction of this core has had any effect yet.
+    pub fn instructions_issued(&self) -> u64 {
+        self.issue_seq
     }
 
     /// Architectural register value.

@@ -69,7 +69,7 @@ enum FetchState {
 pub const FETCH_QUEUE_DEPTH: usize = 2;
 
 /// The fetch unit of one core.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FetchUnit {
     pc: u32,
     queue: std::collections::VecDeque<FetchPacket>,

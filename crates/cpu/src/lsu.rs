@@ -48,7 +48,7 @@ enum Pending {
 }
 
 /// The LSU of one core.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Lsu {
     dcache: Option<Cache>,
     wbuf: VecDeque<(u32, u32)>,

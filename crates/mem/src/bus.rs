@@ -88,7 +88,7 @@ pub struct BusStats {
     pub wait_cycles: Vec<u64>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Active {
     port: usize,
     remaining: u32,
@@ -103,7 +103,7 @@ struct Active {
 ///    (panics if the port already has one in flight);
 /// 2. call [`step`](Bus::step) once per cycle (the SoC does this);
 /// 3. poll [`response`](Bus::response) until it yields the data.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Bus {
     flash: FlashCtl,
     sram: Sram,

@@ -166,10 +166,17 @@ impl Cache {
             .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
     }
 
+    /// Makes `idx` the MRU line of `set`, preserving the relative order
+    /// of the others: only lines younger than `idx`'s previous age move
+    /// (they age by one). The resident ages of a set always form a
+    /// distinct 0..k permutation, provided a line entering the set is
+    /// first marked maximally old (see [`fill`](Cache::fill)) — otherwise
+    /// two lines filled into invalid ways would stay tied at age 0 and
+    /// eviction would no longer be true LRU.
     fn touch(&mut self, idx: usize, set: u32) {
         let old_age = self.lines[idx].age;
         for i in self.way_range(set) {
-            if self.lines[i].age < old_age {
+            if self.lines[i].valid && self.lines[i].age < old_age {
                 self.lines[i].age += 1;
             }
         }
@@ -244,6 +251,10 @@ impl Cache {
                     .expect("ways >= 1")
             });
         let l = &mut self.lines[idx];
+        // A line entering the set (or re-filled in place) is maximally
+        // old until touched, so `touch` ages every other resident line
+        // and the set keeps a total recency order.
+        l.age = u32::MAX;
         l.valid = true;
         l.tag = tag;
         l.data[..line.len()].copy_from_slice(line);
@@ -305,6 +316,48 @@ mod tests {
         assert_eq!(c.probe(0x000), Some(0xa));
         assert_eq!(c.probe(0x080), None);
         assert_eq!(c.probe(0x100), Some(0xc));
+    }
+
+    /// Regression for the age-tie defect: two lines filled into invalid
+    /// ways both sat at age 0, `touch` never broke the tie (it only aged
+    /// lines *younger* than the touched one), and `fill`'s `max_by_key`
+    /// then evicted the higher-indexed way — here the *most* recently
+    /// used line. The old `lru_eviction` test above passed by accident
+    /// because its MRU happened to live in way 0.
+    #[test]
+    fn eviction_is_lru_even_after_age_ties() {
+        let mut c = tiny();
+        c.fill(0x000, &[0xa; 8]); // way 0
+        c.fill(0x080, &[0xb; 8]); // way 1
+        assert_eq!(c.read(0x080), Some(0xb)); // 0x080 is MRU (way 1)
+        c.fill(0x100, &[0xc; 8]); // must evict 0x000, the true LRU
+        assert_eq!(c.probe(0x080), Some(0xb), "MRU line was evicted");
+        assert_eq!(c.probe(0x000), None);
+        assert_eq!(c.probe(0x100), Some(0xc));
+    }
+
+    /// The same defect seen through writes and refills: every touch kind
+    /// (read hit, write hit, refill of a resident tag) must promote to
+    /// MRU with a strict recency order left behind.
+    #[test]
+    fn every_touch_kind_breaks_ties() {
+        // Write hit promotes.
+        let mut c = tiny();
+        c.fill(0x000, &[0xa; 8]);
+        c.fill(0x080, &[0xb; 8]);
+        assert!(c.write(0x084, 7));
+        c.fill(0x100, &[0xc; 8]);
+        assert_eq!(c.probe(0x084), Some(7), "written line was evicted");
+        assert_eq!(c.probe(0x000), None);
+
+        // Refill of the resident tag promotes.
+        let mut c = tiny();
+        c.fill(0x000, &[0xa; 8]);
+        c.fill(0x080, &[0xb; 8]);
+        c.fill(0x080, &[0xd; 8]); // same tag, reuses way 1, now MRU
+        c.fill(0x100, &[0xc; 8]);
+        assert_eq!(c.probe(0x080), Some(0xd), "refilled line was evicted");
+        assert_eq!(c.probe(0x000), None);
     }
 
     #[test]

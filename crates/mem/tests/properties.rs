@@ -83,6 +83,88 @@ proptest! {
         }
     }
 
+    /// Replacement is *true* LRU: against a reference model keeping each
+    /// set's residents in recency order, an arbitrary fill/read/write
+    /// stream always leaves exactly the model's lines resident — i.e. a
+    /// capacity fill always evicts the least recently used way, never a
+    /// tied or MRU one. (Regression: `touch` used to leave age ties, so
+    /// two lines filled into invalid ways stayed tied at age 0 and a
+    /// later fill could evict the most recently used line.)
+    #[test]
+    fn eviction_always_picks_the_true_lru(
+        ops in prop::collection::vec(arb_cache_op(), 1..300)
+    ) {
+        // 4 sets x 4 ways x 16B lines: deep recency orders per set.
+        let cfg = CacheConfig {
+            size_bytes: 256,
+            ways: 4,
+            line_bytes: 16,
+            policy: WritePolicy::WriteAllocate,
+        };
+        let mut cache = Cache::new(cfg);
+        // Per-set resident line bases, MRU first.
+        let mut model: Vec<Vec<u32>> = vec![Vec::new(); cfg.sets() as usize];
+        let set_of = |addr: u32| ((addr / cfg.line_bytes) & (cfg.sets() - 1)) as usize;
+        let promote = |list: &mut Vec<u32>, base: u32| {
+            if let Some(pos) = list.iter().position(|&b| b == base) {
+                list.remove(pos);
+                list.insert(0, base);
+                true
+            } else {
+                false
+            }
+        };
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                CacheOp::Fill(a) => {
+                    let addr = (a as u32) * 4;
+                    let base = cache.line_base(addr);
+                    cache.fill(addr, &vec![0; cfg.line_words() as usize]);
+                    let list = &mut model[set_of(addr)];
+                    if !promote(list, base) {
+                        if list.len() == cfg.ways as usize {
+                            list.pop(); // the model's LRU
+                        }
+                        list.insert(0, base);
+                    }
+                }
+                CacheOp::Read(a) => {
+                    let addr = (a as u32) * 4;
+                    let hit = cache.read(addr).is_some();
+                    let modeled = promote(&mut model[set_of(addr)], cache.line_base(addr));
+                    prop_assert_eq!(hit, modeled, "hit/miss diverged at op {}", i);
+                }
+                CacheOp::Write(a, v) => {
+                    let addr = (a as u32) * 4;
+                    let hit = cache.write(addr, v);
+                    let modeled = promote(&mut model[set_of(addr)], cache.line_base(addr));
+                    prop_assert_eq!(hit, modeled, "hit/miss diverged at op {}", i);
+                }
+                CacheOp::InvalidateAll => {
+                    cache.invalidate_all();
+                    for list in &mut model {
+                        list.clear();
+                    }
+                }
+            }
+            // Exact residency: every modeled line present, and no extras.
+            for (s, list) in model.iter().enumerate() {
+                for &base in list {
+                    prop_assert!(
+                        cache.probe(base).is_some(),
+                        "op {}: set {} lost modeled-resident line {:#x} (wrong eviction)",
+                        i, s, base
+                    );
+                }
+            }
+            prop_assert_eq!(
+                cache.valid_lines(),
+                model.iter().map(Vec::len).sum::<usize>(),
+                "op {}: resident line count diverged from the LRU model", i
+            );
+        }
+    }
+
     /// After invalidation every read misses until a fill re-establishes
     /// the line.
     #[test]

@@ -129,7 +129,7 @@ impl SocBuilder {
 
 /// The simulated multi-core SoC: N cores, one shared bus, shared Flash
 /// and SRAM.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Soc {
     cores: Vec<(Core, u32)>,
     bus: Bus,
