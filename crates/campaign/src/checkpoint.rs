@@ -186,15 +186,32 @@ impl Checkpoint {
         })
     }
 
-    /// Atomically writes the checkpoint to `path` (temp file + rename).
+    /// Atomically and durably writes the checkpoint to `path`: temp
+    /// file, fsync, rename, then (unix) fsync of the parent directory.
+    /// Without the syncs a crash *after* the rename could still leave a
+    /// complete-looking but truncated file (data not yet written back)
+    /// or resurrect the old file (rename not yet journaled).
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let tmp = tmp_path(path);
-        fs::write(&tmp, self.to_json())?;
-        fs::rename(&tmp, path)
+        {
+            let mut f = fs::File::create(&tmp)?;
+            io::Write::write_all(&mut f, self.to_json().as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        // The rename itself must reach the directory's metadata.
+        // Best-effort: not every filesystem lets a directory be synced.
+        #[cfg(unix)]
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Loads a checkpoint from `path`.
@@ -509,6 +526,24 @@ mod tests {
         rev.reverse();
         assert_ne!(fingerprint(&a), fingerprint(&rev.into_iter().collect()));
         assert_eq!(fingerprint(&a), fingerprint(&list(5)));
+    }
+
+    #[test]
+    fn save_is_durable_atomic_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("det-sbst-cp-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join("chk.json");
+        let mut cp = Checkpoint::new(&list(4));
+        cp.verdicts[1] = Some(Verdict::Hang);
+        cp.save(&path).expect("saves");
+        assert_eq!(Checkpoint::load(&path).expect("loads"), cp);
+        assert!(!tmp_path(&path).exists(), "temp file must not linger");
+        // Overwriting replaces the previous checkpoint wholesale.
+        cp.verdicts[2] = Some(Verdict::Undetected);
+        cp.save(&path).expect("saves again");
+        assert_eq!(Checkpoint::load(&path).expect("reloads"), cp);
+        assert!(!tmp_path(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

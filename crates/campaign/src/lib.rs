@@ -37,12 +37,14 @@
 //! ```
 
 pub mod ablation;
+pub mod chaos;
 mod checkpoint;
 mod experiment;
 pub mod split;
 mod faultsim;
 pub mod tables;
 
+pub use chaos::{run_chaos_campaign, ChaosCell, ChaosReport, ChaosSweepConfig};
 pub use checkpoint::{
     fingerprint, resume_campaign, resume_campaign_graded, Checkpoint, CheckpointConfig,
     CheckpointError, ResumableOutcome, CHECKPOINT_VERSION,

@@ -4,7 +4,7 @@
 use sbst_cpu::{CoreConfig, CoreKind};
 use sbst_fault::FaultPlane;
 use sbst_isa::Asm;
-use sbst_soc::{RunOutcome, Soc, SocBuilder};
+use sbst_soc::{ChaosConfig, RunOutcome, Soc, SocBuilder};
 
 use crate::routine::{RoutineEnv, SelfTestRoutine, RESULT_SIG_OFF, RESULT_STATUS_OFF};
 use crate::wrap::cache::{wrap_cached, WrapConfig, WrapError};
@@ -61,6 +61,33 @@ pub fn run_standalone(
     };
     let mut soc = SocBuilder::new().load(&program).core(cfg, 0).build();
     soc.core_mut(0).set_plane(plane);
+    finish(soc, env, max_cycles)
+}
+
+/// Like [`run_standalone`], but with a chaos plane attached: the
+/// traffic injector contends on its own bus port and the SEU schedule
+/// may flip cached/in-flight bits. The core itself stays fault-free —
+/// chaos is environmental, not a logic defect.
+///
+/// # Panics
+///
+/// Panics if the program cannot be assembled at `base`.
+pub fn run_chaotic(
+    asm: &Asm,
+    env: &RoutineEnv,
+    kind: CoreKind,
+    cached: bool,
+    base: u32,
+    chaos: ChaosConfig,
+    max_cycles: u64,
+) -> RunReport {
+    let program = asm.assemble(base).expect("program assembles");
+    let cfg = if cached {
+        CoreConfig::cached(kind, 0, base)
+    } else {
+        CoreConfig::uncached(kind, 0, base)
+    };
+    let soc = SocBuilder::new().load(&program).core(cfg, 0).chaos(chaos).build();
     finish(soc, env, max_cycles)
 }
 

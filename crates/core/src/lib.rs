@@ -54,6 +54,7 @@
 
 mod catalog;
 mod harness;
+pub mod healer;
 mod routine;
 pub mod routines;
 pub mod sched;
@@ -64,7 +65,11 @@ mod wrap;
 
 pub use catalog::{BootImage, BootReport, BootVerdict, CatalogEntry, GoldenDb, StlCatalog};
 pub use harness::{
-    cycle_budget_for, derive_cycle_budget, finish, learn_golden_cached, run_standalone, RunReport,
+    cycle_budget_for, derive_cycle_budget, finish, learn_golden_cached, run_chaotic,
+    run_standalone, RunReport,
+};
+pub use healer::{
+    heal_standalone, run_self_healing, CheckMode, HealAction, HealConfig, RecoveryReport,
 };
 pub use supervisor::{
     CoreVerdict, DegradedReport, QuarantineCause, Supervisor, SupervisorConfig,

@@ -189,6 +189,9 @@ struct Supervised {
     stl: CoreStl,
     goldens: Vec<u32>,
     plane: FaultPlane,
+    /// A fault armed for only the next `.1` runs — the transient hook:
+    /// once consumed, the core runs with its permanent `plane` again.
+    transient: Option<(FaultPlane, usize)>,
 }
 
 /// Host-side fault-tolerant driver of the decentralized boot STL — see
@@ -243,7 +246,12 @@ impl Supervisor {
         assert!(!stl.routines.is_empty(), "core {core} has no routines");
         let prev = self.cores.insert(
             core,
-            Supervised { stl, goldens: Vec::new(), plane: FaultPlane::fault_free() },
+            Supervised {
+                stl,
+                goldens: Vec::new(),
+                plane: FaultPlane::fault_free(),
+                transient: None,
+            },
         );
         assert!(prev.is_none(), "core {core} registered twice");
     }
@@ -257,6 +265,32 @@ impl Supervisor {
     /// Panics if `core` was not registered.
     pub fn set_plane(&mut self, core: usize, plane: FaultPlane) {
         self.cores.get_mut(&core).expect("core registered").plane = plane;
+    }
+
+    /// Arms a fault on one core for only the next `runs` runs (parallel
+    /// or standalone); afterwards the core reverts to its permanent
+    /// plane. This models a *transient* disturbance: the supervisor's
+    /// standalone retry then faces a healthy core and should report
+    /// [`CoreVerdict::PassedAfterRetry`], not quarantine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` was not registered.
+    pub fn set_transient_plane(&mut self, core: usize, plane: FaultPlane, runs: usize) {
+        self.cores.get_mut(&core).expect("core registered").transient = Some((plane, runs));
+    }
+
+    /// The plane `core` faces for the run being built *now*, consuming
+    /// one transient charge if armed.
+    fn plane_for_run(&mut self, core: usize) -> FaultPlane {
+        let sup = self.cores.get_mut(&core).expect("core registered");
+        if let Some((plane, runs)) = sup.transient {
+            if runs > 0 {
+                sup.transient = Some((plane, runs - 1));
+                return plane;
+            }
+        }
+        sup.plane
     }
 
     /// SRAM address of `core`'s trap flag (after the done flags).
@@ -375,7 +409,7 @@ impl Supervisor {
     /// Builds and runs the parallel phase over `active`, returning the
     /// finished SoC and its outcome.
     fn run_parallel(
-        &self,
+        &mut self,
         active: &[usize],
         watchdog: u32,
         budget: u64,
@@ -396,7 +430,8 @@ impl Supervisor {
         }
         let mut soc = builder.build();
         for (slot, &core) in active.iter().enumerate() {
-            soc.core_mut(slot).set_plane(self.cores[&core].plane);
+            let plane = self.plane_for_run(core);
+            soc.core_mut(slot).set_plane(plane);
         }
         let outcome = soc.run(budget);
         Ok((soc, outcome))
@@ -407,7 +442,7 @@ impl Supervisor {
     /// invalidation plus the loading loop re-warm them before the
     /// execution loop runs.
     fn run_standalone(
-        &self,
+        &mut self,
         core: usize,
         watchdog: u32,
         budget: u64,
@@ -419,7 +454,8 @@ impl Supervisor {
             .load(&asm.assemble(base)?)
             .core(CoreConfig::cached(kind, 0, base), 0)
             .build();
-        soc.core_mut(0).set_plane(self.cores[&core].plane);
+        let plane = self.plane_for_run(core);
+        soc.core_mut(0).set_plane(plane);
         let outcome = soc.run(budget);
         Ok((soc, outcome))
     }

@@ -1,0 +1,137 @@
+//! Supervisor escalation under *transient* disturbances (satellite of
+//! the chaos layer): a fault armed for only the first run(s) must end
+//! in [`CoreVerdict::PassedAfterRetry`] — quarantine is reserved for
+//! disturbances that outlast the whole retry budget — and the
+//! [`DegradedReport`] keeps transient-recovered and quarantined cores
+//! distinguishable.
+
+use sbst_cpu::{CoreKind, HDCU_CTRL};
+use sbst_fault::{Element, FaultPlane, FaultSite, Polarity, Unit};
+use sbst_mem::SRAM_BASE;
+use sbst_stl::routines::{GenericAluTest, RegFileTest};
+use sbst_stl::sched::CoreStl;
+use sbst_stl::{
+    CoreVerdict, DegradedReport, QuarantineCause, RoutineEnv, Supervisor, SupervisorConfig,
+};
+
+fn env_for(core: usize) -> RoutineEnv {
+    RoutineEnv {
+        result_addr: SRAM_BASE + 0x2000 + 0x100 * core as u32,
+        data_base: SRAM_BASE + 0x5000 + 0x400 * core as u32,
+        ..RoutineEnv::for_core(CoreKind::ALL[core])
+    }
+}
+
+fn stl_for(core: usize) -> CoreStl {
+    CoreStl::new(
+        vec![Box::new(RegFileTest::new()), Box::new(GenericAluTest::new(3))],
+        env_for(core),
+    )
+}
+
+/// A stuck stall line that hangs the core while armed.
+fn hang_plane() -> FaultPlane {
+    FaultPlane::armed(FaultSite {
+        unit: Unit::Hdcu,
+        instance: HDCU_CTRL,
+        element: Element::StallLine { line: 4 },
+        polarity: Polarity::StuckAt1,
+    })
+}
+
+fn cheap_config(max_retries: usize) -> SupervisorConfig {
+    SupervisorConfig {
+        max_retries,
+        watchdog_timeout: 150_000,
+        base_budget: 2_000_000,
+        ..Default::default()
+    }
+}
+
+fn recovered_cores(report: &DegradedReport) -> Vec<usize> {
+    report
+        .iter()
+        .filter(|(_, v)| matches!(v, CoreVerdict::PassedAfterRetry { .. }))
+        .map(|(c, _)| c)
+        .collect()
+}
+
+fn passed(v: Option<CoreVerdict>) -> bool {
+    matches!(
+        v,
+        Some(CoreVerdict::Passed | CoreVerdict::PassedAfterRetry { .. })
+    )
+}
+
+/// A transient hang (armed for exactly the first run) is healed by the
+/// standalone retry: the verdict is PassedAfterRetry, never quarantine.
+#[test]
+fn transient_hang_recovers_as_passed_after_retry() {
+    let mut sup = Supervisor::new(cheap_config(2));
+    for core in 0..3 {
+        sup.add_core(core, stl_for(core));
+    }
+    sup.set_transient_plane(1, hang_plane(), 1);
+    let report = sup.run().expect("boot");
+    assert_eq!(
+        report.verdict(1),
+        Some(CoreVerdict::PassedAfterRetry { attempts: 1 }),
+        "{report}"
+    );
+    // The bite aborts the whole round, so the innocent cores may also
+    // consume a retry — but nobody is quarantined.
+    assert!(passed(report.verdict(0)), "{report}");
+    assert!(passed(report.verdict(2)), "{report}");
+    assert!(!report.degraded(), "{report}");
+    assert!(recovered_cores(&report).contains(&1), "{report}");
+    assert!(report.rounds >= 2, "recovery re-runs the parallel phase: {report}");
+}
+
+/// The same disturbance armed past the whole retry budget is
+/// indistinguishable from a permanent defect and must quarantine, with
+/// the cause of the last failing attempt.
+#[test]
+fn transient_outlasting_retry_budget_is_quarantined() {
+    let mut sup = Supervisor::new(cheap_config(1));
+    for core in 0..2 {
+        sup.add_core(core, stl_for(core));
+    }
+    // 1 parallel run + 1 standalone retry = 2 runs; arming 10 outlasts
+    // the budget.
+    sup.set_transient_plane(0, hang_plane(), 10);
+    let report = sup.run().expect("boot");
+    assert_eq!(
+        report.verdict(0),
+        Some(CoreVerdict::Quarantined { cause: QuarantineCause::WatchdogBite }),
+        "{report}"
+    );
+    assert!(passed(report.verdict(1)), "{report}");
+    assert_eq!(report.quarantined(), vec![0]);
+}
+
+/// One boot with both kinds of victim: the report must keep them apart
+/// — core 1 transient-recovered, core 2 quarantined, core 0 untouched.
+#[test]
+fn report_distinguishes_transient_recovered_from_quarantined() {
+    let mut sup = Supervisor::new(cheap_config(1));
+    for core in 0..3 {
+        sup.add_core(core, stl_for(core));
+    }
+    sup.set_transient_plane(1, hang_plane(), 1);
+    sup.set_plane(2, hang_plane());
+    let report = sup.run().expect("boot");
+    assert!(passed(report.verdict(0)), "{report}");
+    assert_eq!(
+        report.verdict(1),
+        Some(CoreVerdict::PassedAfterRetry { attempts: 1 }),
+        "{report}"
+    );
+    assert_eq!(
+        report.verdict(2),
+        Some(CoreVerdict::Quarantined { cause: QuarantineCause::WatchdogBite }),
+        "{report}"
+    );
+    assert!(recovered_cores(&report).contains(&1), "{report}");
+    assert_eq!(report.quarantined(), vec![2]);
+    assert!(report.degraded());
+}

@@ -263,6 +263,16 @@ impl Core {
         &self.lsu
     }
 
+    /// Mutable instruction cache, if configured (SEU injection).
+    pub fn icache_mut(&mut self) -> Option<&mut sbst_mem::Cache> {
+        self.fetch.icache_mut()
+    }
+
+    /// Mutable data cache, if configured (SEU injection).
+    pub fn dcache_mut(&mut self) -> Option<&mut sbst_mem::Cache> {
+        self.lsu.dcache_mut()
+    }
+
     /// Current pipeline occupancy for tracing.
     pub fn stage_view(&self) -> StageView {
         let slot = |e: &Option<PipeEntry>| e.map(|e| StageSlot { pc: e.pc, instr: e.instr });

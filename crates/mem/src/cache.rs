@@ -274,6 +274,30 @@ impl Cache {
         self.lines.iter().filter(|l| l.valid).count()
     }
 
+    /// Flips one bit of one *valid* line — the cache half of the SEU
+    /// model. `line_pick`/`word_pick` are raw random draws, reduced
+    /// modulo the current valid-line and line-word counts so a strike
+    /// always lands when anything is resident. Returns the byte address
+    /// of the corrupted word, or `None` (strike absorbed) when the
+    /// cache holds no valid line. Does not touch LRU state or
+    /// statistics: an upset is invisible until the word is consumed.
+    pub fn flip_bit(&mut self, line_pick: u64, word_pick: u64, bit: u32) -> Option<u32> {
+        let victims: Vec<usize> = (0..self.lines.len())
+            .filter(|&i| self.lines[i].valid)
+            .collect();
+        if victims.is_empty() {
+            return None;
+        }
+        let idx = victims[(line_pick % victims.len() as u64) as usize];
+        let word = (word_pick % self.cfg.line_words() as u64) as usize;
+        self.lines[idx].data[word] ^= 1 << (bit % 32);
+        // Reconstruct the word's byte address from set/tag geometry.
+        let set = (idx as u32) / self.cfg.ways;
+        let addr = (self.lines[idx].tag * self.cfg.sets() + set) * self.cfg.line_bytes
+            + 4 * word as u32;
+        Some(addr)
+    }
+
     /// Resets statistics (not contents).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
@@ -410,5 +434,41 @@ mod tests {
     fn fill_wrong_len_panics() {
         let mut c = tiny();
         c.fill(0, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn flip_bit_corrupts_exactly_one_word() {
+        let mut c = tiny();
+        assert_eq!(c.flip_bit(0, 0, 5), None, "empty cache absorbs strikes");
+        c.fill(0x40, &[7; 8]);
+        let addr = c.flip_bit(3, 10, 40).expect("one valid line");
+        // Reported address lies within the filled line and the flipped
+        // bit is 40 % 32 = 8.
+        assert!((0x40..0x60).contains(&addr), "addr {addr:#x}");
+        assert_eq!(c.probe(addr), Some(7 ^ 0x100));
+        // Every other word of the line is intact.
+        let corrupted = (0x40..0x60)
+            .step_by(4)
+            .filter(|&a| c.probe(a) != Some(7))
+            .count();
+        assert_eq!(corrupted, 1);
+        // LRU state and stats were not disturbed.
+        assert_eq!(c.stats().read_hits, 0);
+    }
+
+    #[test]
+    fn flip_bit_reported_address_round_trips_geometry() {
+        let mut c = Cache::new(CacheConfig::icache_8k());
+        for base in [0x100u32, 0x2340, 0x7f00] {
+            c.fill(base, &[0xabcd; 8]);
+        }
+        for pick in 0..12u64 {
+            let addr = c.flip_bit(pick, pick.wrapping_mul(7), (pick % 32) as u32)
+                .expect("lines valid");
+            let v = c.probe(addr).expect("reported address must be resident");
+            assert_ne!(v, 0xabcd, "the word at the reported address changed");
+            // Restore the struck line so the next iteration starts clean.
+            c.fill(c.line_base(addr), &[0xabcd; 8]);
+        }
     }
 }

@@ -1,0 +1,417 @@
+//! SafeTI-style programmable bus-traffic injector.
+//!
+//! The paper's determinism claim is *"the execution-loop signature does
+//! not depend on what the other bus masters do"* — but the repository
+//! only ever exercised the wrapper against the benign traffic the other
+//! STL cores happen to generate. This module adds an adversarial bus
+//! master in the spirit of SafeTI (arXiv:2308.11528): a programmable
+//! injector attached to its own bus port that replays a deterministic,
+//! seeded traffic pattern — from an occasional burst to full bus
+//! saturation — so tests can sweep interference intensity and pin the
+//! claim property-style.
+//!
+//! Injected traffic is *timing-only* by construction: reads target
+//! Flash and SRAM (side-effect free), writes target Flash (ROM at
+//! runtime: acknowledged and dropped) or a reserved scratch window at
+//! the top of SRAM that no STL program uses. The injector never touches
+//! MMIO, so it cannot kick or trip the watchdog.
+
+use crate::bus::{Bus, BusRequest, MAX_BURST};
+use crate::map::{FLASH_SIZE, SRAM_BASE, SRAM_SIZE};
+use crate::prng::Prng;
+
+/// Bytes at the top of SRAM reserved as the injector's write window.
+pub const INJECTOR_SCRATCH_BYTES: u32 = 0x400;
+
+/// First byte of the injector's reserved SRAM write window.
+pub fn injector_scratch_base() -> u32 {
+    SRAM_BASE + SRAM_SIZE - INJECTOR_SCRATCH_BYTES
+}
+
+/// The traffic shape an [`InjectorProgram`] replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectorPattern {
+    /// No traffic (the control case of a sweep).
+    Idle,
+    /// One read burst of `burst` words every `period` cycles.
+    PeriodicBurst {
+        /// Cycles between burst starts (>= 1).
+        period: u32,
+        /// Burst length in words (1..=[`MAX_BURST`]).
+        burst: u8,
+    },
+    /// Whenever the port is free, issue a request with probability
+    /// `density`% — random kind, length and address.
+    Random {
+        /// Issue probability per free cycle, in percent (0..=100).
+        density: u32,
+    },
+    /// Re-issue a maximum-length read burst the moment the port frees:
+    /// the worst-case adversary a shared round-robin bus admits.
+    Saturate,
+}
+
+/// A complete injector configuration: pattern, seed and activity window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectorProgram {
+    /// Traffic shape.
+    pub pattern: InjectorPattern,
+    /// Seed for every random draw the pattern makes.
+    pub seed: u64,
+    /// First active cycle.
+    pub start: u64,
+    /// First cycle past the activity window (`u64::MAX` = forever).
+    pub stop: u64,
+}
+
+impl InjectorProgram {
+    /// The silent program.
+    pub fn idle() -> InjectorProgram {
+        InjectorProgram { pattern: InjectorPattern::Idle, seed: 0, start: 0, stop: 0 }
+    }
+
+    /// Full-saturation traffic for the whole run.
+    pub fn saturate(seed: u64) -> InjectorProgram {
+        InjectorProgram {
+            pattern: InjectorPattern::Saturate,
+            seed,
+            start: 0,
+            stop: u64::MAX,
+        }
+    }
+
+    /// Seeded-random traffic at `density`% for the whole run.
+    pub fn random(seed: u64, density: u32) -> InjectorProgram {
+        InjectorProgram {
+            pattern: InjectorPattern::Random { density: density.min(100) },
+            seed,
+            start: 0,
+            stop: u64::MAX,
+        }
+    }
+
+    /// Maps a nominal interference intensity (0..=100 %) to a program:
+    /// 0 is idle, 100 is saturation, anything between is seeded-random
+    /// traffic of that density — the sweep axis of the chaos campaign.
+    pub fn with_intensity(intensity: u32, seed: u64) -> InjectorProgram {
+        match intensity {
+            0 => InjectorProgram::idle(),
+            i if i >= 100 => InjectorProgram::saturate(seed),
+            i => InjectorProgram::random(seed, i),
+        }
+    }
+
+    /// Draws an arbitrary *traffic-generating* program from a seed (the
+    /// property-test sweep: never [`InjectorPattern::Idle`], so every
+    /// drawn program actually disturbs the bus).
+    pub fn from_seed(seed: u64) -> InjectorProgram {
+        let mut p = Prng::new(seed ^ 0x5afe_7150);
+        let pattern = match p.below(3) {
+            0 => InjectorPattern::PeriodicBurst {
+                period: 2 + p.below(40) as u32,
+                burst: 1 + p.below(MAX_BURST as u64) as u8,
+            },
+            1 => InjectorPattern::Random { density: 10 + p.below(91) as u32 },
+            _ => InjectorPattern::Saturate,
+        };
+        InjectorProgram { pattern, seed, start: p.below(64), stop: u64::MAX }
+    }
+}
+
+/// Counters of what the injector actually put on the bus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectorStats {
+    /// Requests issued.
+    pub requests: u64,
+    /// Words moved (burst beats summed).
+    pub words: u64,
+    /// Cycles the injector wanted to issue but its port was still busy
+    /// (back-pressure from its own outstanding transaction).
+    pub throttled_cycles: u64,
+}
+
+/// The programmable extra bus master.
+///
+/// Drive it like a core: call [`step`](TrafficInjector::step) once per
+/// cycle *before* [`Bus::step`]. The injector drains its own responses,
+/// so the port never wedges.
+///
+/// # Example
+///
+/// ```
+/// use sbst_mem::{Bus, FlashCtl, FlashImage, FlashTiming, InjectorProgram,
+///                Sram, TrafficInjector};
+///
+/// let mut bus = Bus::new(
+///     FlashCtl::new(FlashImage::new().freeze(), FlashTiming::default()),
+///     Sram::default(),
+///     2,
+/// );
+/// let mut inj = TrafficInjector::new(InjectorProgram::saturate(1), 1);
+/// for cycle in 0..100 {
+///     inj.step(&mut bus, cycle);
+///     bus.step();
+/// }
+/// assert!(inj.stats().requests > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficInjector {
+    prog: InjectorProgram,
+    prng: Prng,
+    port: usize,
+    stats: InjectorStats,
+}
+
+impl TrafficInjector {
+    /// Creates an injector driving bus port `port`.
+    pub fn new(prog: InjectorProgram, port: usize) -> TrafficInjector {
+        TrafficInjector { prng: Prng::new(prog.seed), prog, port, stats: InjectorStats::default() }
+    }
+
+    /// The program this injector replays.
+    pub fn program(&self) -> InjectorProgram {
+        self.prog
+    }
+
+    /// The bus port this injector masters.
+    pub fn port(&self) -> usize {
+        self.port
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> InjectorStats {
+        self.stats
+    }
+
+    /// Advances the injector by one cycle: drains any completed
+    /// response and, when the pattern fires, presents the next request.
+    pub fn step(&mut self, bus: &mut Bus, cycle: u64) {
+        // Injected reads are fire-and-forget; take the data off the port
+        // so the bus's one-outstanding-per-port protocol is respected.
+        let _ = bus.response(self.port);
+        if cycle < self.prog.start || cycle >= self.prog.stop {
+            return;
+        }
+        let fire = match self.prog.pattern {
+            InjectorPattern::Idle => false,
+            InjectorPattern::PeriodicBurst { period, .. } => {
+                (cycle - self.prog.start).is_multiple_of(period.max(1) as u64)
+            }
+            InjectorPattern::Random { density } => self.prng.chance(density, 100),
+            InjectorPattern::Saturate => true,
+        };
+        if !fire {
+            return;
+        }
+        if bus.port_busy(self.port) {
+            self.stats.throttled_cycles += 1;
+            return;
+        }
+        let req = self.draw_request();
+        self.stats.requests += 1;
+        self.stats.words += req.burst as u64;
+        bus.request(self.port, req);
+    }
+
+    /// Draws the next request of the active pattern (side-effect-free
+    /// targets only; see the module docs).
+    fn draw_request(&mut self) -> BusRequest {
+        match self.prog.pattern {
+            InjectorPattern::Idle => unreachable!("idle never fires"),
+            InjectorPattern::PeriodicBurst { burst, .. } => {
+                let burst = burst.clamp(1, MAX_BURST as u8);
+                BusRequest::read_burst(self.flash_addr(burst), burst)
+            }
+            InjectorPattern::Saturate => {
+                let burst = MAX_BURST as u8;
+                BusRequest::read_burst(self.flash_addr(burst), burst)
+            }
+            InjectorPattern::Random { .. } => {
+                let burst = 1 + self.prng.below(MAX_BURST as u64) as u8;
+                match self.prng.below(4) {
+                    // Flash read bursts: the dominant contention source.
+                    0 | 1 => BusRequest::read_burst(self.flash_addr(burst), burst),
+                    // SRAM reads of the scratch window.
+                    2 => BusRequest::read(self.scratch_addr()),
+                    // SRAM writes stay inside the reserved window.
+                    _ => BusRequest::write(self.scratch_addr(), self.prng.next_u32()),
+                }
+            }
+        }
+    }
+
+    /// A word-aligned Flash address with room for a `burst`-word beat.
+    fn flash_addr(&mut self, burst: u8) -> u32 {
+        let span = (FLASH_SIZE - 4 * burst as u32) as u64 / 4;
+        (self.prng.below(span) as u32) * 4
+    }
+
+    /// A word-aligned address inside the reserved SRAM scratch window.
+    fn scratch_addr(&mut self) -> u32 {
+        injector_scratch_base() + (self.prng.below(INJECTOR_SCRATCH_BYTES as u64 / 4) as u32) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flash::{FlashCtl, FlashImage, FlashTiming};
+    use crate::map::Region;
+    use crate::sram::Sram;
+
+    fn bus(ports: usize) -> Bus {
+        Bus::new(
+            FlashCtl::new(FlashImage::new().freeze(), FlashTiming::default()),
+            Sram::default(),
+            ports,
+        )
+    }
+
+    fn run(prog: InjectorProgram, cycles: u64) -> (Bus, TrafficInjector) {
+        let mut b = bus(1);
+        let mut inj = TrafficInjector::new(prog, 0);
+        for c in 0..cycles {
+            inj.step(&mut b, c);
+            b.step();
+        }
+        (b, inj)
+    }
+
+    #[test]
+    fn idle_program_is_silent() {
+        let (b, inj) = run(InjectorProgram::idle(), 500);
+        assert_eq!(inj.stats().requests, 0);
+        assert_eq!(b.stats().transactions, 0);
+    }
+
+    #[test]
+    fn saturate_keeps_the_bus_busy() {
+        let (b, inj) = run(InjectorProgram::saturate(1), 500);
+        assert!(inj.stats().requests > 10);
+        // Flash bursts dominate: the bus must be busy most of the run.
+        assert!(b.stats().busy_cycles > 400, "busy {}", b.stats().busy_cycles);
+    }
+
+    #[test]
+    fn periodic_burst_rate_matches_period() {
+        let prog = InjectorProgram {
+            pattern: InjectorPattern::PeriodicBurst { period: 50, burst: 2 },
+            seed: 3,
+            start: 0,
+            stop: u64::MAX,
+        };
+        let (_, inj) = run(prog, 500);
+        // 10 firing slots; some may be throttled by an in-flight burst.
+        let issued = inj.stats().requests + inj.stats().throttled_cycles;
+        assert_eq!(issued, 10);
+        assert!(inj.stats().requests >= 8);
+    }
+
+    #[test]
+    fn window_is_respected() {
+        let prog = InjectorProgram { start: 100, stop: 200, ..InjectorProgram::saturate(5) };
+        let mut b = bus(1);
+        let mut inj = TrafficInjector::new(prog, 0);
+        for c in 0..100 {
+            inj.step(&mut b, c);
+            b.step();
+        }
+        assert_eq!(inj.stats().requests, 0, "quiet before start");
+        for c in 100..300 {
+            inj.step(&mut b, c);
+            b.step();
+        }
+        let after_window = inj.stats().requests;
+        assert!(after_window > 0);
+        for c in 300..400 {
+            inj.step(&mut b, c);
+            b.step();
+        }
+        assert_eq!(inj.stats().requests, after_window, "quiet after stop");
+    }
+
+    #[test]
+    fn random_traffic_is_deterministic_per_seed() {
+        let a = run(InjectorProgram::random(7, 50), 400);
+        let b = run(InjectorProgram::random(7, 50), 400);
+        assert_eq!(a.1.stats(), b.1.stats());
+        assert_eq!(a.0.stats(), b.0.stats());
+        let c = run(InjectorProgram::random(8, 50), 400);
+        assert_ne!(a.1.stats(), c.1.stats());
+    }
+
+    #[test]
+    fn writes_stay_inside_the_scratch_window() {
+        let mut inj = TrafficInjector::new(InjectorProgram::random(11, 100), 0);
+        for _ in 0..500 {
+            let req = inj.draw_request();
+            match req.kind {
+                crate::bus::ReqKind::Write(_) | crate::bus::ReqKind::Swap(_) => {
+                    assert!(req.addr >= injector_scratch_base());
+                    assert!(req.addr < SRAM_BASE + SRAM_SIZE);
+                }
+                crate::bus::ReqKind::Read => {
+                    let region = Region::of(req.addr);
+                    assert!(
+                        region == Region::Flash || region == Region::Sram,
+                        "read outside flash/sram: {:#x}",
+                        req.addr
+                    );
+                    assert_ne!(region, Region::Mmio);
+                }
+            }
+            assert_eq!(req.addr % 4, 0);
+        }
+    }
+
+    #[test]
+    fn from_seed_never_draws_idle_and_is_stable() {
+        for seed in 0..64u64 {
+            let p = InjectorProgram::from_seed(seed);
+            assert_ne!(p.pattern, InjectorPattern::Idle);
+            assert_eq!(p, InjectorProgram::from_seed(seed));
+        }
+    }
+
+    #[test]
+    fn contends_with_a_real_master() {
+        // A core-like master on port 0 plus a saturating injector on
+        // port 1: the master's reads must still complete (round-robin
+        // starvation freedom), but slower than solo.
+        let solo = {
+            let mut b = bus(2);
+            let mut cycles = 0u64;
+            for _ in 0..20 {
+                b.request(0, BusRequest::read(0x100));
+                loop {
+                    b.step();
+                    cycles += 1;
+                    if b.response(0).is_some() {
+                        break;
+                    }
+                }
+            }
+            cycles
+        };
+        let contended = {
+            let mut b = bus(2);
+            let mut inj = TrafficInjector::new(InjectorProgram::saturate(2), 1);
+            let mut cycles = 0u64;
+            let mut clk = 0u64;
+            for _ in 0..20 {
+                b.request(0, BusRequest::read(0x100));
+                loop {
+                    inj.step(&mut b, clk);
+                    b.step();
+                    clk += 1;
+                    cycles += 1;
+                    if b.response(0).is_some() {
+                        break;
+                    }
+                }
+            }
+            cycles
+        };
+        assert!(contended > solo, "injector must slow the master ({contended} vs {solo})");
+    }
+}

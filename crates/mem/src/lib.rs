@@ -17,7 +17,11 @@
 //!   policies and whole-cache invalidation;
 //! * [`Tcm`] — per-core instruction/data Tightly-Coupled Memories, the
 //!   competing execution strategy of the paper's Table IV;
-//! * [`Sram`] — shared system SRAM for mailboxes and scheduler state.
+//! * [`Sram`] — shared system SRAM for mailboxes and scheduler state;
+//! * [`TrafficInjector`] — a SafeTI-style programmable adversarial bus
+//!   master for interference testing, plus the [`SeuScheduler`] transient
+//!   bit-flip plane and the shared deterministic [`Prng`] they (and the
+//!   scenario axes) draw from.
 //!
 //! ## Example: a cache miss serviced over the contended bus
 //!
@@ -46,7 +50,10 @@
 mod bus;
 mod cache;
 mod flash;
+mod injector;
 mod map;
+mod prng;
+mod seu;
 mod sram;
 mod tcm;
 mod watchdog;
@@ -54,10 +61,16 @@ mod watchdog;
 pub use bus::{Bus, BusRequest, BusResponse, BusStats, ReqKind, MAX_BURST};
 pub use cache::{Cache, CacheConfig, CacheStats, WritePolicy};
 pub use flash::{FlashCtl, FlashImage, FlashTiming, ERASED};
+pub use injector::{
+    injector_scratch_base, InjectorPattern, InjectorProgram, InjectorStats, TrafficInjector,
+    INJECTOR_SCRATCH_BYTES,
+};
 pub use map::{
     Region, DTCM_BASE, FLASH_BASE, FLASH_HIGH, FLASH_LOW, FLASH_MID, FLASH_SIZE, ITCM_BASE,
     MMIO_BASE, MMIO_SIZE, SRAM_BASE, SRAM_SIZE, TCM_SIZE,
 };
+pub use prng::Prng;
+pub use seu::{SeuConfig, SeuEvent, SeuScheduler, SeuStrike, SeuTarget};
 pub use sram::Sram;
 pub use tcm::Tcm;
 pub use watchdog::{Watchdog, WDG_KICK, WDG_LOAD, WDG_STATUS};

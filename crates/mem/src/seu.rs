@@ -1,0 +1,226 @@
+//! Single-event-upset (SEU) scheduling: seeded transient bit flips.
+//!
+//! The fault plane (`sbst-fault`) models *permanent* stuck-at defects
+//! inside a core's logic. This module adds the orthogonal transient
+//! plane: radiation-style upsets that flip one bit in a cached line or
+//! in the data of an in-flight bus transaction. A [`SeuScheduler`]
+//! rolls a seeded Bernoulli trial every cycle; when it fires, it emits
+//! a [`SeuStrike`] describing *where* the flip should land, and the SoC
+//! applies it (it owns the caches and the bus). Everything is
+//! deterministic in the seed, so a run that recovered — or escalated —
+//! reproduces exactly.
+//!
+//! Unlike a stuck-at fault, an SEU does not recur: re-running the
+//! routine (the self-healing wrapper's invalidate → re-warm → retry
+//! path) reads fresh, correct data from Flash/SRAM.
+
+use crate::prng::Prng;
+
+/// Where a strike lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeuTarget {
+    /// A valid line of one core's instruction cache.
+    ICache {
+        /// Victim core index.
+        core: usize,
+    },
+    /// A valid line of one core's data cache.
+    DCache {
+        /// Victim core index.
+        core: usize,
+    },
+    /// A data word of the bus transaction currently in flight.
+    BusData,
+}
+
+/// One scheduled upset: target plus which word/bit to flip.
+///
+/// `line_pick`/`word_pick` are raw draws; the applier reduces them
+/// modulo whatever is actually resident (valid lines, burst length), so
+/// a strike is never invalidated by cache occupancy changing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeuStrike {
+    /// Cycle the strike was rolled.
+    pub cycle: u64,
+    /// Target storage element.
+    pub target: SeuTarget,
+    /// Raw line selector (reduce modulo valid-line count).
+    pub line_pick: u64,
+    /// Raw word selector (reduce modulo line/burst words).
+    pub word_pick: u64,
+    /// Bit to flip (0..32).
+    pub bit: u32,
+}
+
+/// One strike as actually applied (or absorbed) by the SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeuEvent {
+    /// The scheduled strike.
+    pub strike: SeuStrike,
+    /// Whether the flip landed in real state. A strike is *absorbed*
+    /// when its target held nothing to corrupt (empty cache, idle bus).
+    pub landed: bool,
+}
+
+/// Transient-upset rate and window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeuConfig {
+    /// Seed for strike timing and placement.
+    pub seed: u64,
+    /// Strike probability per cycle, in parts per million. The chaos
+    /// sweeps use 0 (off) up to ~10_000 (one strike every ~100 cycles —
+    /// far beyond any physical rate, to force the recovery machinery).
+    pub rate_ppm: u32,
+    /// First cycle strikes may land.
+    pub start: u64,
+    /// First cycle past the strike window (`u64::MAX` = forever).
+    pub stop: u64,
+    /// Upper bound on strikes for the whole run (0 = unlimited).
+    pub max_strikes: u32,
+}
+
+impl SeuConfig {
+    /// No upsets ever.
+    pub fn off() -> SeuConfig {
+        SeuConfig { seed: 0, rate_ppm: 0, start: 0, stop: 0, max_strikes: 0 }
+    }
+
+    /// Upsets at `rate_ppm` for the whole run.
+    pub fn at_rate(seed: u64, rate_ppm: u32) -> SeuConfig {
+        SeuConfig { seed, rate_ppm, start: 0, stop: u64::MAX, max_strikes: 0 }
+    }
+
+    /// Whether this configuration can ever produce a strike.
+    pub fn enabled(&self) -> bool {
+        self.rate_ppm > 0 && self.stop > self.start
+    }
+
+    /// The same schedule re-seeded for retry `attempt`: a transient
+    /// does not replay, so each self-healing attempt must face fresh
+    /// (still deterministic) strike timing.
+    pub fn for_attempt(&self, attempt: usize) -> SeuConfig {
+        if attempt == 0 {
+            return *self;
+        }
+        SeuConfig {
+            seed: Prng::new(self.seed).split(attempt as u64).next_u64(),
+            ..*self
+        }
+    }
+}
+
+/// The per-run strike scheduler.
+#[derive(Debug, Clone)]
+pub struct SeuScheduler {
+    cfg: SeuConfig,
+    prng: Prng,
+    strikes: u32,
+}
+
+impl SeuScheduler {
+    /// A scheduler for one run.
+    pub fn new(cfg: SeuConfig) -> SeuScheduler {
+        SeuScheduler { prng: Prng::new(cfg.seed ^ 0x5e0_u64), cfg, strikes: 0 }
+    }
+
+    /// This scheduler's configuration.
+    pub fn config(&self) -> SeuConfig {
+        self.cfg
+    }
+
+    /// Strikes rolled so far.
+    pub fn strikes(&self) -> u32 {
+        self.strikes
+    }
+
+    /// Rolls the cycle's Bernoulli trial; `cores` is the number of
+    /// potential cache victims. Returns the strike to apply, if any.
+    pub fn roll(&mut self, cycle: u64, cores: usize) -> Option<SeuStrike> {
+        if cycle < self.cfg.start || cycle >= self.cfg.stop {
+            return None;
+        }
+        if self.cfg.max_strikes != 0 && self.strikes >= self.cfg.max_strikes {
+            return None;
+        }
+        if !self.prng.chance(self.cfg.rate_ppm, 1_000_000) {
+            return None;
+        }
+        self.strikes += 1;
+        let target = match self.prng.below(8) {
+            // I-cache strikes dominate: instruction state is what the
+            // cache-resident execution loop actually trusts.
+            0..=3 => SeuTarget::ICache { core: self.prng.below(cores.max(1) as u64) as usize },
+            4..=5 => SeuTarget::DCache { core: self.prng.below(cores.max(1) as u64) as usize },
+            _ => SeuTarget::BusData,
+        };
+        Some(SeuStrike {
+            cycle,
+            target,
+            line_pick: self.prng.next_u64(),
+            word_pick: self.prng.next_u64(),
+            bit: self.prng.below(32) as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strikes_of(cfg: SeuConfig, cycles: u64) -> Vec<SeuStrike> {
+        let mut s = SeuScheduler::new(cfg);
+        (0..cycles).filter_map(|c| s.roll(c, 3)).collect()
+    }
+
+    #[test]
+    fn off_never_fires() {
+        assert!(strikes_of(SeuConfig::off(), 100_000).is_empty());
+    }
+
+    #[test]
+    fn rate_is_roughly_respected_and_deterministic() {
+        let cfg = SeuConfig::at_rate(42, 10_000); // ~1 per 100 cycles
+        let a = strikes_of(cfg, 100_000);
+        let b = strikes_of(cfg, 100_000);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(
+            (500..=2000).contains(&a.len()),
+            "~1000 strikes expected, got {}",
+            a.len()
+        );
+        let c = strikes_of(SeuConfig::at_rate(43, 10_000), 100_000);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn window_and_cap_bound_strikes() {
+        let cfg = SeuConfig { start: 1000, stop: 2000, ..SeuConfig::at_rate(7, 100_000) };
+        let s = strikes_of(cfg, 10_000);
+        assert!(!s.is_empty());
+        assert!(s.iter().all(|s| (1000..2000).contains(&s.cycle)));
+
+        let capped = SeuConfig { max_strikes: 3, ..SeuConfig::at_rate(7, 100_000) };
+        assert_eq!(strikes_of(capped, 100_000).len(), 3);
+    }
+
+    #[test]
+    fn strike_fields_are_in_range() {
+        for s in strikes_of(SeuConfig::at_rate(9, 50_000), 20_000) {
+            assert!(s.bit < 32);
+            match s.target {
+                SeuTarget::ICache { core } | SeuTarget::DCache { core } => assert!(core < 3),
+                SeuTarget::BusData => {}
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_reseeding_changes_timing_but_is_pure() {
+        let cfg = SeuConfig::at_rate(5, 20_000);
+        assert_eq!(cfg.for_attempt(0), cfg);
+        let r1 = cfg.for_attempt(1);
+        assert_ne!(r1.seed, cfg.seed);
+        assert_eq!(r1, cfg.for_attempt(1));
+        assert_ne!(strikes_of(cfg, 50_000), strikes_of(r1, 50_000));
+    }
+}

@@ -1,0 +1,88 @@
+//! The chaos plane of a run: adversarial bus traffic plus transient
+//! upsets.
+//!
+//! A [`ChaosConfig`] attaches two orthogonal disturbances to a SoC:
+//!
+//! * an [`InjectorProgram`] for an extra SafeTI-style bus master that
+//!   competes with the cores for the shared bus — pure *timing*
+//!   interference, which the paper's cache-resident execution loop must
+//!   shrug off bit-for-bit;
+//! * a [`SeuConfig`] schedule of transient bit flips in cached lines or
+//!   in-flight bus data — *data* corruption, which no amount of cache
+//!   residency survives and the self-healing wrapper must detect and
+//!   retry through.
+//!
+//! Both are deterministic in their seeds, so any chaotic run — clean,
+//! recovered, or quarantined — replays exactly.
+
+use sbst_mem::{InjectorProgram, SeuConfig};
+
+/// Chaos plane for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Program for the adversarial bus master.
+    pub injector: InjectorProgram,
+    /// Transient-upset schedule.
+    pub seu: SeuConfig,
+}
+
+impl ChaosConfig {
+    /// No interference, no upsets — attaching this is equivalent to not
+    /// attaching a chaos plane at all (minus one unused bus port).
+    pub fn none() -> ChaosConfig {
+        ChaosConfig { injector: InjectorProgram::idle(), seu: SeuConfig::off() }
+    }
+
+    /// Timing interference only: the injector runs, no bits flip. This
+    /// is the regime where wrapped signatures must stay bit-identical.
+    pub fn interference(injector: InjectorProgram) -> ChaosConfig {
+        ChaosConfig { injector, seu: SeuConfig::off() }
+    }
+
+    /// Transient upsets only, over a quiet bus.
+    pub fn transients(seu: SeuConfig) -> ChaosConfig {
+        ChaosConfig { injector: InjectorProgram::idle(), seu }
+    }
+
+    /// Whether this configuration disturbs anything at all.
+    pub fn is_noop(&self) -> bool {
+        matches!(self.injector.pattern, sbst_mem::InjectorPattern::Idle) && !self.seu.enabled()
+    }
+
+    /// The same chaos re-seeded for retry `attempt`: the injector
+    /// program replays unchanged (interference is environmental), but
+    /// transients do not recur, so the SEU schedule is re-derived.
+    pub fn for_attempt(&self, attempt: usize) -> ChaosConfig {
+        ChaosConfig { injector: self.injector, seu: self.seu.for_attempt(attempt) }
+    }
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_detection() {
+        assert!(ChaosConfig::none().is_noop());
+        assert!(!ChaosConfig::interference(InjectorProgram::saturate(1)).is_noop());
+        assert!(!ChaosConfig::transients(SeuConfig::at_rate(1, 100)).is_noop());
+    }
+
+    #[test]
+    fn retry_reseeds_seu_but_not_injector() {
+        let c = ChaosConfig {
+            injector: InjectorProgram::saturate(9),
+            seu: SeuConfig::at_rate(5, 1000),
+        };
+        let r = c.for_attempt(2);
+        assert_eq!(r.injector, c.injector);
+        assert_ne!(r.seu.seed, c.seu.seed);
+        assert_eq!(c.for_attempt(0), c);
+    }
+}

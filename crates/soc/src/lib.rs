@@ -13,12 +13,17 @@
 //! * [`Scenario`] — the experimental axes of the paper's sweeps (active
 //!   cores, code position, alignment, phase skew);
 //! * [`PipelineTrace`] — pipeline-occupancy capture and the ASCII
-//!   instruction/cycle diagrams of Figure 1.
+//!   instruction/cycle diagrams of Figure 1;
+//! * [`ChaosConfig`] — the optional chaos plane: an adversarial traffic
+//!   injector on its own bus port plus a seeded transient-upset (SEU)
+//!   schedule, both deterministic and replayable.
 
+mod chaos;
 mod scenario;
 mod soc;
 mod trace;
 
+pub use chaos::ChaosConfig;
 pub use scenario::{Alignment, CodePosition, Scenario};
 pub use soc::{RunOutcome, Soc, SocBuilder};
 pub use trace::PipelineTrace;

@@ -5,7 +5,7 @@
 //! code alignment (word / double-word / double double-word) and the
 //! initial SoC configuration (modeled as per-core start-phase skew).
 
-use sbst_mem::{FLASH_HIGH, FLASH_LOW, FLASH_MID};
+use sbst_mem::{Prng, FLASH_HIGH, FLASH_LOW, FLASH_MID};
 
 /// Where the test program sits in Flash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,12 +92,10 @@ impl Scenario {
 
     /// Deterministic per-core start delays derived from `skew_seed`.
     pub fn start_delays(&self) -> [u32; 3] {
-        let mut x = self.skew_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut prng = Prng::new(self.skew_seed);
         let mut out = [0u32; 3];
         for (i, d) in out.iter_mut().enumerate() {
-            x ^= x >> 12;
-            x ^= x << 25;
-            x ^= x >> 27;
+            let x = prng.next_u64();
             // Skews up to ~2 flash accesses shift the bus interleaving.
             *d = if i == 0 { 0 } else { (x % 23) as u32 };
         }

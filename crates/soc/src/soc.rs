@@ -4,7 +4,12 @@ use std::sync::Arc;
 
 use sbst_cpu::{Core, CoreConfig};
 use sbst_isa::Program;
-use sbst_mem::{Bus, FlashCtl, FlashImage, FlashTiming, Sram};
+use sbst_mem::{
+    Bus, FlashCtl, FlashImage, FlashTiming, InjectorStats, SeuEvent, SeuScheduler, SeuTarget,
+    Sram, TrafficInjector,
+};
+
+use crate::chaos::ChaosConfig;
 
 /// Why [`Soc::run`] stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +71,7 @@ pub struct SocBuilder {
     timing: FlashTiming,
     sram_latency: u32,
     cores: Vec<(CoreConfig, u32)>,
+    chaos: Option<ChaosConfig>,
 }
 
 impl SocBuilder {
@@ -98,6 +104,13 @@ impl SocBuilder {
         self
     }
 
+    /// Attaches a chaos plane: an adversarial traffic injector as one
+    /// extra bus master, plus a transient-upset (SEU) schedule.
+    pub fn chaos(mut self, cfg: ChaosConfig) -> SocBuilder {
+        self.chaos = Some(cfg);
+        self
+    }
+
     /// Builds the SoC around a fresh copy of the accumulated image.
     pub fn build(self) -> Soc {
         self.build_shared(self.flash.clone().freeze())
@@ -107,7 +120,9 @@ impl SocBuilder {
     /// runs construct thousands of SoCs over one frozen image.
     pub fn build_shared(&self, image: Arc<FlashImage>) -> Soc {
         assert!(!self.cores.is_empty(), "SoC needs at least one core");
-        let ports = 2 * self.cores.len();
+        // The injector gets its own bus port after the cores' ports, so
+        // core-port numbering (2i, 2i+1) is unchanged by chaos.
+        let ports = 2 * self.cores.len() + usize::from(self.chaos.is_some());
         let bus = Bus::new(
             FlashCtl::new(image, self.timing),
             Sram::new(self.sram_latency),
@@ -118,7 +133,11 @@ impl SocBuilder {
             .iter()
             .map(|&(cfg, delay)| (Core::new(cfg), delay))
             .collect();
-        Soc { cores, bus, cycle: 0 }
+        let injector = self
+            .chaos
+            .map(|c| TrafficInjector::new(c.injector, ports - 1));
+        let seu = self.chaos.map(|c| SeuScheduler::new(c.seu));
+        Soc { cores, bus, cycle: 0, injector, seu, seu_log: Vec::new() }
     }
 
     /// Freezes the accumulated Flash image for sharing across builds.
@@ -134,6 +153,9 @@ pub struct Soc {
     cores: Vec<(Core, u32)>,
     bus: Bus,
     cycle: u64,
+    injector: Option<TrafficInjector>,
+    seu: Option<SeuScheduler>,
+    seu_log: Vec<SeuEvent>,
 }
 
 impl Soc {
@@ -177,6 +199,22 @@ impl Soc {
         self.cycle
     }
 
+    /// Traffic-injector statistics, when a chaos plane is attached.
+    pub fn injector_stats(&self) -> Option<InjectorStats> {
+        self.injector.as_ref().map(|i| i.stats())
+    }
+
+    /// Every SEU strike rolled this run, landed or absorbed.
+    pub fn seu_events(&self) -> &[SeuEvent] {
+        &self.seu_log
+    }
+
+    /// Strikes that actually corrupted state (vs absorbed by an empty
+    /// cache or idle bus).
+    pub fn seu_landed(&self) -> usize {
+        self.seu_log.iter().filter(|e| e.landed).count()
+    }
+
     /// Advances the whole SoC by one clock cycle.
     pub fn step(&mut self) {
         let cycle = self.cycle;
@@ -185,7 +223,36 @@ impl Soc {
                 core.step(&mut self.bus);
             }
         }
+        // The injector files its request after the cores so a core and
+        // the injector contending for the same free bus resolve by port
+        // order in the arbiter, not by stepping order.
+        if let Some(inj) = &mut self.injector {
+            inj.step(&mut self.bus, cycle);
+        }
         self.bus.step();
+        // Strikes land after the bus settles: a BusData strike corrupts
+        // the response a master will consume on a *later* cycle.
+        if let Some(seu) = &mut self.seu {
+            let n = self.cores.len();
+            if let Some(strike) = seu.roll(cycle, n) {
+                let landed = match strike.target {
+                    SeuTarget::ICache { core } => self.cores[core % n]
+                        .0
+                        .icache_mut()
+                        .and_then(|c| c.flip_bit(strike.line_pick, strike.word_pick, strike.bit))
+                        .is_some(),
+                    SeuTarget::DCache { core } => self.cores[core % n]
+                        .0
+                        .dcache_mut()
+                        .and_then(|c| c.flip_bit(strike.line_pick, strike.word_pick, strike.bit))
+                        .is_some(),
+                    SeuTarget::BusData => {
+                        self.bus.corrupt_in_flight(strike.word_pick, strike.bit)
+                    }
+                };
+                self.seu_log.push(SeuEvent { strike, landed });
+            }
+        }
         self.cycle += 1;
     }
 
