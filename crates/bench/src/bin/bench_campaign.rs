@@ -17,10 +17,12 @@ use std::time::Instant;
 
 use sbst_campaign::tables::Effort;
 use sbst_campaign::{
-    routines_for, run_campaign_detailed, run_campaign_warm_detailed, ExecStyle, Experiment,
+    routines_for, run_campaign_detailed, run_campaign_warm_detailed,
+    run_campaign_warm_telemetry, ExecStyle, Experiment,
 };
 use sbst_cpu::{unit_fault_list, CoreKind};
 use sbst_fault::{collapse, Unit};
+use sbst_obs::Json;
 use sbst_soc::Scenario;
 
 struct Timed {
@@ -89,24 +91,43 @@ fn main() {
         cold_t.seconds, cold_t.faults_per_sec, warm_t.seconds, warm_t.faults_per_sec
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"campaign_throughput\",\n  \"mode\": \"{mode}\",\n  \
-         \"unit\": \"forwarding\",\n  \"faults\": {},\n  \"golden_cycles\": {},\n  \
-         \"snapshot_cycle\": {},\n  \"coverage_percent\": {:.2},\n  \
-         \"cold\": {{ \"seconds\": {:.3}, \"faults_per_sec\": {:.2} }},\n  \
-         \"warm\": {{ \"seconds\": {:.3}, \"faults_per_sec\": {:.2} }},\n  \
-         \"speedup\": {:.3},\n  \"verdicts_equivalent\": true\n}}\n",
-        faults.len(),
-        golden.cycles,
-        snapshot.cycle(),
-        cold_result.coverage(),
-        cold_t.seconds,
-        cold_t.faults_per_sec,
-        warm_t.seconds,
-        warm_t.faults_per_sec,
-        speedup,
-    );
-    std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
+    // One untimed telemetry pass for the observability fields: verdict
+    // mix, warm-start hit rate, and periodic progress snapshots.
+    let (telemetry_result, _, telemetry) =
+        run_campaign_warm_telemetry(&exp, &golden, &faults, effort.threads);
+    assert_eq!(telemetry_result, cold_result, "telemetry pass changed verdicts");
+    println!("telemetry: {telemetry}");
+
+    let pass = |t: &Timed| {
+        Json::Obj(vec![
+            ("seconds".into(), Json::Num(round3(t.seconds))),
+            ("faults_per_sec".into(), Json::Num(round2(t.faults_per_sec))),
+        ])
+    };
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("campaign_throughput".into())),
+        ("mode".into(), Json::Str(mode.clone())),
+        ("unit".into(), Json::Str("forwarding".into())),
+        ("faults".into(), Json::int(faults.len() as u64)),
+        ("golden_cycles".into(), Json::int(golden.cycles)),
+        ("snapshot_cycle".into(), Json::int(snapshot.cycle())),
+        ("coverage_percent".into(), Json::Num(round2(cold_result.coverage()))),
+        ("cold".into(), pass(&cold_t)),
+        ("warm".into(), pass(&warm_t)),
+        ("speedup".into(), Json::Num(round3(speedup))),
+        ("verdicts_equivalent".into(), Json::Bool(true)),
+        ("verdicts".into(), cold_result.mix().to_json()),
+        (
+            "warm_hit_rate".into(),
+            telemetry.warm_hit_rate.map_or(Json::Null, |r| Json::Num(round3(r))),
+        ),
+        (
+            "progress".into(),
+            Json::Arr(telemetry.progress.iter().map(|s| s.to_json()).collect()),
+        ),
+    ]);
+    std::fs::write("BENCH_campaign.json", doc.render_pretty(2))
+        .expect("write BENCH_campaign.json");
     println!("wrote BENCH_campaign.json");
 
     if mode == "standard" || mode == "full" {
@@ -128,4 +149,12 @@ fn best(a: Timed, b: Timed) -> Timed {
     } else {
         a
     }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
 }

@@ -4,8 +4,13 @@
 //! false-quarantine statistics per cell.
 //!
 //! Usage: `chaos_sweep [smoke|standard] [seed]`
+//!
+//! Besides the per-cell table on stdout, the sweep's telemetry totals
+//! are merged into `BENCH_campaign.json` under the `"chaos"` key (the
+//! rest of the file — `bench_campaign`'s output — is preserved).
 
 use sbst_campaign::{run_chaos_campaign, ChaosSweepConfig};
+use sbst_obs::{parse_json, Json};
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "standard".into());
@@ -31,4 +36,20 @@ fn main() {
         "\nOK: {} recovered, 0 silent corruptions, 0 false quarantines",
         report.recovered_total()
     );
+
+    // Merge the sweep totals into BENCH_campaign.json without
+    // disturbing bench_campaign's fields; start a fresh object when the
+    // file is absent or unparsable.
+    let mut doc = std::fs::read_to_string("BENCH_campaign.json")
+        .ok()
+        .and_then(|text| parse_json(&text).ok())
+        .filter(|d| matches!(d, Json::Obj(_)))
+        .unwrap_or(Json::Obj(Vec::new()));
+    let mut chaos = report.telemetry().to_json();
+    chaos.set("mode", Json::Str(mode.clone()));
+    chaos.set("seed", Json::int(seed));
+    doc.set("chaos", chaos);
+    std::fs::write("BENCH_campaign.json", doc.render_pretty(2))
+        .expect("write BENCH_campaign.json");
+    println!("merged chaos telemetry into BENCH_campaign.json");
 }

@@ -140,6 +140,18 @@ impl CampaignResult {
         }
     }
 
+    /// The verdict distribution in the observability layer's type.
+    pub fn mix(&self) -> sbst_obs::VerdictMix {
+        sbst_obs::VerdictMix {
+            wrong_signature: self.wrong_signature as u64,
+            test_fail: self.test_fail as u64,
+            unexpected_trap: self.unexpected_trap as u64,
+            hang: self.hang as u64,
+            undetected: self.undetected as u64,
+            sim_error: self.sim_errors as u64,
+        }
+    }
+
     /// Rebuilds the aggregate from per-fault records.
     pub fn from_records(records: &[(FaultSite, Verdict)]) -> CampaignResult {
         let mut result = CampaignResult::default();

@@ -43,8 +43,9 @@ mod experiment;
 pub mod split;
 mod faultsim;
 pub mod tables;
+mod telemetry;
 
-pub use chaos::{run_chaos_campaign, ChaosCell, ChaosReport, ChaosSweepConfig};
+pub use chaos::{run_chaos_campaign, ChaosCell, ChaosReport, ChaosSweepConfig, ChaosTelemetry};
 pub use checkpoint::{
     fingerprint, resume_campaign, resume_campaign_graded, Checkpoint, CheckpointConfig,
     CheckpointError, ResumableOutcome, CHECKPOINT_VERSION,
@@ -56,6 +57,9 @@ pub use faultsim::{
     run_campaign, run_campaign_collapsed, run_campaign_detailed, run_campaign_graded,
     run_campaign_warm, run_campaign_warm_detailed, summarize_by_category, CampaignError,
     CampaignResult, ExperimentGrader, FaultGrader, WarmExperimentGrader,
+};
+pub use telemetry::{
+    run_campaign_graded_telemetry, run_campaign_telemetry, run_campaign_warm_telemetry,
 };
 
 use sbst_cpu::CoreKind;

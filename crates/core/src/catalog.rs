@@ -280,9 +280,7 @@ impl BootImage {
         &self.programs
     }
 
-    /// Builds the SoC, runs the parallel boot test, and reads back the
-    /// per-routine verdicts.
-    pub fn run(&self, watchdog: u64) -> BootReport {
+    fn builder(&self) -> SocBuilder {
         let mut builder = SocBuilder::new();
         for (_, _, program) in &self.programs {
             builder = builder.load(program);
@@ -291,9 +289,29 @@ impl BootImage {
             let kind = CoreKind::ALL[core];
             builder = builder.core(CoreConfig::cached(kind, i, base), i as u32 * 3);
         }
-        let mut soc = builder.build();
+        builder
+    }
+
+    /// Builds the SoC, runs the parallel boot test, and reads back the
+    /// per-routine verdicts.
+    pub fn run(&self, watchdog: u64) -> BootReport {
+        let mut soc = self.builder().build();
         let outcome = soc.run(watchdog);
         self.report(&soc, outcome)
+    }
+
+    /// [`run`](BootImage::run) with the observability layer attached:
+    /// returns the verdicts plus the run's [`MetricsHub`]. Verdicts and
+    /// cycle counts are bit-identical to an unobserved run.
+    pub fn run_observed(
+        &self,
+        watchdog: u64,
+        cfg: sbst_soc::ObsConfig,
+    ) -> (BootReport, sbst_obs::MetricsHub) {
+        let mut soc = self.builder().observe(cfg).build();
+        let outcome = soc.run(watchdog);
+        let metrics = soc.metrics().expect("observability attached");
+        (self.report(&soc, outcome), metrics)
     }
 
     /// Reads the verdicts out of a finished SoC.

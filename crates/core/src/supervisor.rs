@@ -62,13 +62,20 @@ pub enum QuarantineCause {
     UnexpectedTrap,
 }
 
-impl std::fmt::Display for QuarantineCause {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
+impl QuarantineCause {
+    /// Short human-readable cause (also used in trace events).
+    pub fn as_str(&self) -> &'static str {
+        match self {
             QuarantineCause::SignatureMismatch => "signature mismatch",
             QuarantineCause::WatchdogBite => "watchdog bite",
             QuarantineCause::UnexpectedTrap => "unexpected trap",
-        })
+        }
+    }
+}
+
+impl std::fmt::Display for QuarantineCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -227,12 +234,27 @@ struct Supervised {
 pub struct Supervisor {
     cfg: SupervisorConfig,
     cores: BTreeMap<usize, Supervised>,
+    /// Quarantine trace events of the last [`run`](Supervisor::run) —
+    /// quarantine is a host-side decision, so the SoC-level observer
+    /// cannot see it; the supervisor records it here instead.
+    events: Vec<sbst_obs::TraceEvent>,
 }
 
 impl Supervisor {
     /// An empty supervisor.
     pub fn new(cfg: SupervisorConfig) -> Supervisor {
-        Supervisor { cfg, cores: BTreeMap::new() }
+        Supervisor { cfg, cores: BTreeMap::new(), events: Vec::new() }
+    }
+
+    /// Trace events (currently: quarantines) recorded by the last
+    /// [`run`](Supervisor::run).
+    pub fn events(&self) -> &[sbst_obs::TraceEvent] {
+        &self.events
+    }
+
+    /// Takes the recorded trace events, leaving the supervisor empty.
+    pub fn take_events(&mut self) -> Vec<sbst_obs::TraceEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Registers core `core`'s STL share. `stl.watchdog` is ignored —
@@ -486,6 +508,7 @@ impl Supervisor {
     /// Panics if no core was registered.
     pub fn run(&mut self) -> Result<DegradedReport, WrapError> {
         assert!(!self.cores.is_empty(), "no cores registered");
+        self.events.clear();
         self.learn()?;
 
         let mut active: Vec<usize> = self.cores.keys().copied().collect();
@@ -514,6 +537,7 @@ impl Supervisor {
         while !active.is_empty() && rounds < max_rounds {
             rounds += 1;
             let (soc, _outcome) = self.run_parallel(&active, watchdog, budget)?;
+            let mut last_cycle = soc.cycle();
             let failing: Vec<(usize, QuarantineCause)> = active
                 .iter()
                 .filter_map(|&core| self.classify(&soc, core).err().map(|c| (core, c)))
@@ -540,6 +564,7 @@ impl Supervisor {
                     let retry_budget = budget.saturating_mul(1 << n.min(16));
                     let retry_wdg = watchdog.saturating_mul(1 << n.min(16) as u32);
                     let (soc, _) = self.run_standalone(core, retry_wdg, retry_budget)?;
+                    last_cycle = soc.cycle();
                     match self.classify(&soc, core) {
                         Ok(()) => {
                             recovered = true;
@@ -551,6 +576,11 @@ impl Supervisor {
                 if !recovered {
                     verdicts.insert(core, CoreVerdict::Quarantined { cause });
                     active.retain(|&c| c != core);
+                    self.events.push(sbst_obs::TraceEvent {
+                        cycle: last_cycle,
+                        core: u8::try_from(core).ok(),
+                        kind: sbst_obs::TraceKind::Quarantine { cause: cause.as_str() },
+                    });
                 }
             }
         }

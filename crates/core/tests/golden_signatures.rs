@@ -1,0 +1,180 @@
+//! Golden-signature pinning: the wrapped (cache-based) signature of
+//! every catalog routine on every core kind is pinned against the
+//! checked-in fixture `tests/fixtures/golden_signatures.json`.
+//!
+//! These signatures are the repository's most important invariant: the
+//! paper's whole determinism argument rests on the golden learned at
+//! end-of-manufacturing staying bit-identical in the field, so *any*
+//! change to a routine, the wrapper, the assembler, the pipeline or the
+//! memory system that moves a signature must be a conscious decision,
+//! not an accident. A legitimate change (e.g. a routine gains coverage)
+//! shows up here as a diff of the fixture, which code review can see.
+//!
+//! Oversized routines (HDCU on core C) split into cache-sized parts
+//! (paper §III.2.2); the fixture pins the signature of every part, in
+//! order, as a JSON array.
+//!
+//! Regenerating the fixture after an intentional change:
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test -p sbst-stl --test golden_signatures
+//! git diff crates/core/tests/fixtures/golden_signatures.json  # review!
+//! ```
+//!
+//! The regen run rewrites the fixture and then passes; commit the new
+//! fixture together with the change that moved the signatures.
+
+use sbst_cpu::CoreKind;
+use sbst_fault::FaultPlane;
+use sbst_obs::{parse_json, Json};
+use sbst_stl::routines::{
+    BranchTest, ForwardingTest, GenericAluTest, HdcuTest, IcuTest, LsuTest, RegFileTest,
+};
+use sbst_stl::{plan_cached, run_standalone, RoutineEnv, SelfTestRoutine, WrapConfig};
+
+/// Every routine the STL catalog ships, constructed for `kind` (two of
+/// them specialise their code to the core's datapath).
+fn catalog(kind: CoreKind) -> Vec<(&'static str, Box<dyn SelfTestRoutine>)> {
+    vec![
+        ("regfile", Box::new(RegFileTest::new())),
+        ("forwarding", Box::new(ForwardingTest::without_pcs(kind))),
+        ("branch", Box::new(BranchTest::new())),
+        ("lsu", Box::new(LsuTest::new())),
+        ("hdcu", Box::new(HdcuTest::new(kind))),
+        ("icu", Box::new(IcuTest::new())),
+        ("alu", Box::new(GenericAluTest::new(3))),
+    ]
+}
+
+const ROUTINES: usize = 7;
+
+fn kind_key(kind: CoreKind) -> &'static str {
+    match kind {
+        CoreKind::A => "A",
+        CoreKind::B => "B",
+        CoreKind::C => "C",
+    }
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/golden_signatures.json")
+}
+
+/// Learns the golden signature of every part of `routine` fault-free on
+/// a single cached core — the end-of-manufacturing flow of the paper.
+fn learn(routine: &dyn SelfTestRoutine, kind: CoreKind) -> Vec<u32> {
+    let env = RoutineEnv::for_core(kind);
+    let cfg = WrapConfig::default();
+    let parts = plan_cached(routine, &env, &cfg, "golden")
+        .unwrap_or_else(|e| panic!("{} on {kind:?} fails to wrap: {e}", routine.name()));
+    parts
+        .iter()
+        .enumerate()
+        .map(|(i, asm)| {
+            let part_env = RoutineEnv { result_addr: env.result_addr + 16 * i as u32, ..env };
+            let report = run_standalone(
+                asm,
+                &part_env,
+                kind,
+                true,
+                0x400,
+                FaultPlane::fault_free(),
+                30_000_000,
+            );
+            assert!(
+                report.outcome.is_clean(),
+                "golden run of {} part {i} on {kind:?} did not halt: {:?}",
+                routine.name(),
+                report.outcome
+            );
+            assert_ne!(report.signature, 0, "{} part {i} on {kind:?}", routine.name());
+            report.signature
+        })
+        .collect()
+}
+
+/// Learns the current signatures of every routine × core pairing.
+fn learn_all() -> Vec<(&'static str, &'static str, Vec<u32>)> {
+    let mut out = Vec::new();
+    for kind in CoreKind::ALL {
+        for (name, routine) in catalog(kind) {
+            out.push((name, kind_key(kind), learn(&*routine, kind)));
+        }
+    }
+    out
+}
+
+fn sigs_to_json(sigs: &[u32]) -> Json {
+    Json::Arr(sigs.iter().map(|&s| Json::int(u64::from(s))).collect())
+}
+
+#[test]
+fn every_routine_signature_matches_the_fixture() {
+    let learned = learn_all();
+
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let mut routines: Vec<(String, Json)> = Vec::new();
+        for (name, kind, sigs) in &learned {
+            if !routines.iter().any(|(n, _)| n == name) {
+                routines.push((name.to_string(), Json::Obj(Vec::new())));
+            }
+            let entry =
+                routines.iter_mut().find(|(n, _)| n == name).expect("just pushed");
+            entry.1.set(kind, sigs_to_json(sigs));
+        }
+        let doc = Json::Obj(routines);
+        std::fs::write(fixture_path(), doc.render_pretty(2)).expect("write fixture");
+        eprintln!("regenerated {}", fixture_path().display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(fixture_path()).expect(
+        "fixture missing — run with GOLDEN_REGEN=1 per the test header to create it",
+    );
+    let doc = parse_json(&text).expect("fixture parses as JSON");
+
+    // The fixture must cover exactly the current catalog: a routine
+    // added without pinning, or pinned but since removed, both fail.
+    let mut checked = 0usize;
+    for (name, kind, sigs) in &learned {
+        let pinned = doc
+            .get(name)
+            .and_then(|r| r.get(kind))
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| panic!("fixture lacks {name}/{kind} — see header for regen"));
+        let pinned: Vec<u64> =
+            pinned.iter().map(|v| v.as_f64().expect("integer signature") as u64).collect();
+        let learned_u64: Vec<u64> = sigs.iter().map(|&s| u64::from(s)).collect();
+        assert_eq!(
+            pinned, learned_u64,
+            "golden signature of {name} on core {kind} moved (fixture vs learned). \
+             If this change is intentional, regenerate the fixture (see header).",
+        );
+        checked += 1;
+    }
+    let fixture_entries: usize = match &doc {
+        Json::Obj(routines) => routines
+            .iter()
+            .map(|(_, cores)| match cores {
+                Json::Obj(entries) => entries.len(),
+                _ => 0,
+            })
+            .sum(),
+        _ => 0,
+    };
+    assert_eq!(
+        fixture_entries, checked,
+        "fixture has stale entries no longer in the catalog — regenerate it"
+    );
+    assert_eq!(checked, ROUTINES * CoreKind::ALL.len(), "full routine x core coverage");
+}
+
+/// Learning is reproducible: a second independent learning pass yields
+/// bit-identical signatures for every routine × core — the premise that
+/// makes pinning them in a fixture meaningful at all.
+#[test]
+fn golden_learning_is_reproducible() {
+    let (first, second) = (learn_all(), learn_all());
+    assert_eq!(first, second, "golden learning must be deterministic");
+}

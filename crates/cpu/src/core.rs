@@ -243,6 +243,29 @@ impl Core {
         &self.csr
     }
 
+    /// A copied-out observability snapshot of the core: pipeline
+    /// counters, cache counters and the pipeline's current position.
+    /// The SoC observer diffs consecutive samples to derive per-cycle
+    /// trace events; nothing here touches core state.
+    pub fn obs_sample(&self) -> sbst_obs::CoreSample {
+        sbst_obs::CoreSample {
+            counters: sbst_obs::CoreCounters {
+                cycles: self.csr.cycles,
+                retired: self.csr.retired,
+                issued: self.issue_seq,
+                if_stalls: self.csr.if_stalls,
+                mem_stalls: self.csr.mem_stalls,
+                haz_stalls: self.csr.haz_stalls,
+                fwd_uses: self.csr.fwd_uses,
+            },
+            icache: self.fetch.icache().map(|c| c.stats().counters()),
+            dcache: self.lsu.dcache().map(|c| c.stats().counters()),
+            next_pc: self.fetch.pc(),
+            ex_pc: self.ex_in[0].map(|e| e.pc),
+            halted: self.halted,
+        }
+    }
+
     /// The instruction TCM (harness loading of TCM-resident code).
     pub fn itcm_mut(&mut self) -> &mut Tcm {
         &mut self.itcm
@@ -482,6 +505,9 @@ impl Core {
                     fwd_wb[1].value,
                 ];
                 let sel = slot_selects[operand].expect("routed above");
+                if sel.is_some_and(|s| s != crate::forwarding::SRC_RF) {
+                    self.csr.fwd_uses += 1;
+                }
                 ops[operand] = self.fwd.operand(slot, operand, &inputs, sel, &self.plane);
             }
             let pipe_entry = self.execute_one(slot, entry, ops);

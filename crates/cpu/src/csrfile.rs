@@ -18,6 +18,12 @@ pub struct CsrFile {
     pub mem_stalls: u64,
     /// Hazard-stall cycles inserted by the HDCU.
     pub haz_stalls: u64,
+    /// Operand reads satisfied by a forwarding path instead of the
+    /// register file. Deliberately *not* a software-visible CSR: adding
+    /// a `Csr` variant would change how random CSR-number instructions
+    /// decode, and this counter must be observable without perturbing
+    /// any program.
+    pub fwd_uses: u64,
     /// Software scratch registers.
     pub scratch: [u32; 2],
     /// Trap handler vector (0 = no handler installed).

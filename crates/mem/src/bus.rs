@@ -10,6 +10,7 @@ use crate::flash::FlashCtl;
 use crate::map::{Region, MMIO_BASE};
 use crate::sram::Sram;
 use crate::watchdog::Watchdog;
+use sbst_obs::BusObs;
 
 /// Maximum burst length in words (one 32-byte cache line).
 pub const MAX_BURST: usize = 8;
@@ -132,6 +133,9 @@ pub struct Bus {
     stats: BusStats,
     /// Cycles each port's *current* pending request has waited so far.
     cur_wait: Vec<u64>,
+    /// Optional observer — strictly read-only w.r.t. bus behaviour; when
+    /// `None` (the default) the only cost is one branch per hook site.
+    obs: Option<Box<BusObs>>,
 }
 
 impl Bus {
@@ -152,7 +156,24 @@ impl Bus {
                 ..BusStats::default()
             },
             cur_wait: vec![0; ports],
+            obs: None,
         }
+    }
+
+    /// Attaches an observer recording per-port grant latencies and bus
+    /// events. Observation never changes bus behaviour.
+    pub fn attach_obs(&mut self, obs: BusObs) {
+        self.obs = Some(Box::new(obs));
+    }
+
+    /// The attached observer, if any.
+    pub fn obs(&self) -> Option<&BusObs> {
+        self.obs.as_deref()
+    }
+
+    /// Detaches and returns the observer, if any.
+    pub fn take_obs(&mut self) -> Option<BusObs> {
+        self.obs.take().map(|b| *b)
     }
 
     /// Number of master ports.
@@ -172,6 +193,9 @@ impl Bus {
         assert!(self.responses[port].is_none(), "port {port} has an untaken response");
         assert_eq!(req.addr % 4, 0, "unaligned bus address {:#x}", req.addr);
         assert!((1..=MAX_BURST as u8).contains(&req.burst), "bad burst {}", req.burst);
+        if let Some(obs) = &mut self.obs {
+            obs.on_request(port);
+        }
         self.pending[port] = Some(req);
     }
 
@@ -201,6 +225,10 @@ impl Bus {
                     self.stats.grants[port] += 1;
                     self.stats.max_grant_wait[port] =
                         self.stats.max_grant_wait[port].max(self.cur_wait[port]);
+                    if let Some(obs) = &mut self.obs {
+                        let write = matches!(req.kind, ReqKind::Write(_) | ReqKind::Swap(_));
+                        obs.on_grant(port, self.cur_wait[port], req.addr, write);
+                    }
                     self.cur_wait[port] = 0;
                     let (latency, resp) = self.execute(req);
                     self.active = Some(Active { port, remaining: latency.max(1), resp });
@@ -224,6 +252,9 @@ impl Bus {
                 self.stats.wait_cycles[p] += 1;
                 self.cur_wait[p] += 1;
             }
+        }
+        if let Some(obs) = &mut self.obs {
+            obs.tick();
         }
     }
 

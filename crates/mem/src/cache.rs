@@ -82,6 +82,24 @@ pub struct CacheStats {
     pub invalidations: u64,
 }
 
+impl CacheStats {
+    /// Total lookups (hits plus misses, reads plus writes).
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Copies the counters into the observability layer's type.
+    pub fn counters(&self) -> sbst_obs::CacheCounters {
+        sbst_obs::CacheCounters {
+            read_hits: self.read_hits,
+            read_misses: self.read_misses,
+            write_hits: self.write_hits,
+            write_misses: self.write_misses,
+            invalidations: self.invalidations,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Line {
     valid: bool,

@@ -1,0 +1,147 @@
+//! Log₂-bucketed latency histograms.
+//!
+//! Grant-latency distributions span five orders of magnitude between a
+//! quiet bus (0-cycle waits) and a saturated one (whole-burst waits), so
+//! the histogram buckets by bit length: bucket 0 holds exact zeros,
+//! bucket `k` holds values in `[2^(k-1), 2^k)`. Alongside the buckets
+//! the histogram keeps exact totals — count, mass (sum of recorded
+//! values), non-zero count and maximum — so consistency properties
+//! ("histogram mass equals the port's total wait cycles") can be
+//! asserted without rounding.
+
+/// Number of buckets: zeros plus one bucket per possible bit length.
+pub const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples with exact side totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    mass: u64,
+    nonzero: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { counts: vec![0; BUCKETS], count: 0, mass: 0, nonzero: 0, max: 0 }
+    }
+
+    /// Bucket index of a value: 0 for 0, else its bit length.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` of bucket `i` (bucket 0
+    /// is the exact-zero bucket, reported as `[0, 1)`).
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), 1 << i),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Histogram::bucket_of(value)] += 1;
+        self.count += 1;
+        self.mass += value;
+        if value > 0 {
+            self.nonzero += 1;
+        }
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of every recorded value (the histogram's mass).
+    pub fn mass(&self) -> u64 {
+        self.mass
+    }
+
+    /// Samples with a non-zero value.
+    pub fn nonzero(&self) -> u64 {
+        self.nonzero
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mass as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts, zero-bucket first.
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(range, count)` for every non-empty bucket, low to high.
+    pub fn occupied(&self) -> Vec<((u64, u64), u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (Histogram::bucket_range(i), c))
+            .collect()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_by_bit_length() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn totals_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 0, 1, 7, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.mass(), 116);
+        assert_eq!(h.nonzero(), 4);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 116.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_range() {
+        for v in [0u64, 1, 2, 3, 4, 31, 32, 1000, u64::MAX / 2, u64::MAX] {
+            let (lo, hi) = Histogram::bucket_range(Histogram::bucket_of(v));
+            assert!(v >= lo && (v < hi || (v == u64::MAX && hi == u64::MAX)), "{v}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! A bounded ring of trace events.
+
+use std::collections::VecDeque;
+
+use crate::trace::TraceEvent;
+
+/// A bounded FIFO of [`TraceEvent`]s: once full, pushing drops the
+/// *oldest* event and counts it, so the ring always holds the most
+/// recent window of activity and the loss is observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRing {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> EventRing {
+        let capacity = capacity.max(1);
+        EventRing { buf: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Records an event, evicting the oldest if full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Events currently held, oldest first, as an owned vector.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Events held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum events held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceKind;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent { cycle, core: None, kind: TraceKind::WatchdogBite }
+    }
+
+    #[test]
+    fn keeps_newest_and_counts_drops() {
+        let mut r = EventRing::new(3);
+        for c in 0..5 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.capacity(), 1);
+    }
+}

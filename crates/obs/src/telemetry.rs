@@ -1,0 +1,189 @@
+//! Campaign-level telemetry: verdict mix, throughput, warm-start hit
+//! rate and periodic progress snapshots of a fault-injection campaign.
+
+use crate::json::Json;
+
+/// How a campaign's verdicts were distributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerdictMix {
+    /// Faults detected by a wrong signature.
+    pub wrong_signature: u64,
+    /// Faults detected by an explicit test-fail status.
+    pub test_fail: u64,
+    /// Faults detected by an unexpected trap.
+    pub unexpected_trap: u64,
+    /// Faults detected by a hang (watchdog / cycle budget).
+    pub hang: u64,
+    /// Faults the STL did not detect.
+    pub undetected: u64,
+    /// Simulations that failed outright (grader error).
+    pub sim_error: u64,
+}
+
+impl VerdictMix {
+    /// Total verdicts counted.
+    pub fn total(&self) -> u64 {
+        self.wrong_signature
+            + self.test_fail
+            + self.unexpected_trap
+            + self.hang
+            + self.undetected
+            + self.sim_error
+    }
+
+    /// Faults detected by any mechanism.
+    pub fn detected(&self) -> u64 {
+        self.wrong_signature + self.test_fail + self.unexpected_trap + self.hang
+    }
+
+    /// Renders the mix as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("wrong_signature".into(), Json::int(self.wrong_signature)),
+            ("test_fail".into(), Json::int(self.test_fail)),
+            ("unexpected_trap".into(), Json::int(self.unexpected_trap)),
+            ("hang".into(), Json::int(self.hang)),
+            ("undetected".into(), Json::int(self.undetected)),
+            ("sim_error".into(), Json::int(self.sim_error)),
+        ])
+    }
+}
+
+impl std::fmt::Display for VerdictMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sig={} fail={} trap={} hang={} undetected={} err={}",
+            self.wrong_signature,
+            self.test_fail,
+            self.unexpected_trap,
+            self.hang,
+            self.undetected,
+            self.sim_error,
+        )
+    }
+}
+
+/// One periodic progress sample taken while a campaign was running.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Faults graded so far.
+    pub done: usize,
+    /// Faults in the campaign.
+    pub total: usize,
+    /// Wall-clock seconds since the campaign started.
+    pub elapsed_secs: f64,
+    /// Grading throughput at this snapshot.
+    pub faults_per_sec: f64,
+}
+
+impl ProgressSnapshot {
+    /// Renders the snapshot as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("done".into(), Json::int(self.done as u64)),
+            ("total".into(), Json::int(self.total as u64)),
+            ("elapsed_secs".into(), Json::Num(self.elapsed_secs)),
+            ("faults_per_sec".into(), Json::Num(self.faults_per_sec)),
+        ])
+    }
+}
+
+/// End-of-campaign telemetry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignTelemetry {
+    /// Faults graded.
+    pub total: u64,
+    /// Verdict distribution.
+    pub mix: VerdictMix,
+    /// Wall-clock seconds the campaign took.
+    pub elapsed_secs: f64,
+    /// Overall grading throughput.
+    pub faults_per_sec: f64,
+    /// Fraction of faults that short-circuited on the warm-start early
+    /// verdict (None for cold campaigns).
+    pub warm_hit_rate: Option<f64>,
+    /// Periodic snapshots, oldest first.
+    pub progress: Vec<ProgressSnapshot>,
+}
+
+impl CampaignTelemetry {
+    /// Renders the telemetry as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("total".into(), Json::int(self.total)),
+            ("verdicts".into(), self.mix.to_json()),
+            ("elapsed_secs".into(), Json::Num(self.elapsed_secs)),
+            ("faults_per_sec".into(), Json::Num(self.faults_per_sec)),
+        ];
+        match self.warm_hit_rate {
+            Some(rate) => fields.push(("warm_hit_rate".into(), Json::Num(rate))),
+            None => fields.push(("warm_hit_rate".into(), Json::Null)),
+        }
+        fields.push((
+            "progress".into(),
+            Json::Arr(self.progress.iter().map(ProgressSnapshot::to_json).collect()),
+        ));
+        Json::Obj(fields)
+    }
+}
+
+impl std::fmt::Display for CampaignTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} faults in {:.2}s ({:.0} faults/sec; {})",
+            self.total, self.elapsed_secs, self.faults_per_sec, self.mix,
+        )?;
+        if let Some(rate) = self.warm_hit_rate {
+            write!(f, "; warm-hit {:.1}%", 100.0 * rate)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    #[test]
+    fn telemetry_renders_as_valid_json() {
+        let telemetry = CampaignTelemetry {
+            total: 100,
+            mix: VerdictMix { wrong_signature: 60, hang: 10, undetected: 30, ..VerdictMix::default() },
+            elapsed_secs: 2.5,
+            faults_per_sec: 40.0,
+            warm_hit_rate: Some(0.9),
+            progress: vec![ProgressSnapshot {
+                done: 50,
+                total: 100,
+                elapsed_secs: 1.25,
+                faults_per_sec: 40.0,
+            }],
+        };
+        let doc = parse_json(&telemetry.to_json().render()).expect("valid JSON");
+        assert_eq!(doc.get("total").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(
+            doc.get("verdicts").and_then(|v| v.get("wrong_signature")).and_then(Json::as_f64),
+            Some(60.0)
+        );
+        assert_eq!(doc.get("warm_hit_rate").and_then(Json::as_f64), Some(0.9));
+        assert_eq!(doc.get("progress").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert!(telemetry.to_string().contains("warm-hit 90.0%"));
+    }
+
+    #[test]
+    fn mix_totals_add_up() {
+        let mix = VerdictMix {
+            wrong_signature: 1,
+            test_fail: 2,
+            unexpected_trap: 3,
+            hang: 4,
+            undetected: 5,
+            sim_error: 6,
+        };
+        assert_eq!(mix.total(), 21);
+        assert_eq!(mix.detected(), 10);
+    }
+}

@@ -1,0 +1,122 @@
+//! Structured trace events.
+//!
+//! Every notable micro-architectural moment of a run can be recorded as
+//! one small, `Copy`able [`TraceEvent`] in a bounded [`EventRing`]
+//! (bounded so observation can never grow without limit on a hung run).
+//! Events carry the cycle they occurred in and, where meaningful, the
+//! core they belong to — enough to render a `chrome://tracing` timeline
+//! of a whole boot-time STL run.
+//!
+//! [`EventRing`]: crate::ring::EventRing
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A fetch packet entered the pipeline (one or two instructions).
+    Fetch {
+        /// PC of the first issued instruction.
+        pc: u32,
+        /// Instructions issued this cycle (1 or 2).
+        slots: u8,
+    },
+    /// The instruction cache missed.
+    ICacheMiss,
+    /// The data cache missed (read or write lookup).
+    DCacheMiss,
+    /// The bus arbiter granted a port's pending request.
+    BusGrant {
+        /// Granted master port.
+        port: u8,
+        /// Cycles the request waited for this grant.
+        wait: u32,
+        /// Target address of the transaction.
+        addr: u32,
+        /// Whether the transaction writes (write or swap).
+        write: bool,
+    },
+    /// A transient upset (SEU) was rolled.
+    SeuStrike {
+        /// Whether the strike corrupted real state (vs was absorbed).
+        landed: bool,
+    },
+    /// The memory-mapped watchdog bit.
+    WatchdogBite,
+    /// The supervisor quarantined a core.
+    Quarantine {
+        /// Human-readable failure cause of the last attempt.
+        cause: &'static str,
+    },
+}
+
+impl TraceKind {
+    /// Short stable name (Chrome-trace event name, JSONL `"kind"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::Fetch { .. } => "fetch",
+            TraceKind::ICacheMiss => "icache-miss",
+            TraceKind::DCacheMiss => "dcache-miss",
+            TraceKind::BusGrant { .. } => "bus-grant",
+            TraceKind::SeuStrike { .. } => "seu-strike",
+            TraceKind::WatchdogBite => "watchdog-bite",
+            TraceKind::Quarantine { .. } => "quarantine",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the event occurred in.
+    pub cycle: u64,
+    /// Core the event belongs to (`None` for SoC-level events such as
+    /// bus grants of the traffic injector or the watchdog).
+    pub core: Option<u8>,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Renders the event's payload as a Chrome-trace / JSONL `args`
+    /// object body (the `{...}` without braces is inconvenient, so the
+    /// whole object is returned).
+    pub fn args_json(&self) -> String {
+        match self.kind {
+            TraceKind::Fetch { pc, slots } => {
+                format!("{{\"pc\":\"{pc:#x}\",\"slots\":{slots}}}")
+            }
+            TraceKind::BusGrant { port, wait, addr, write } => format!(
+                "{{\"port\":{port},\"wait\":{wait},\"addr\":\"{addr:#x}\",\"write\":{write}}}"
+            ),
+            TraceKind::SeuStrike { landed } => format!("{{\"landed\":{landed}}}"),
+            TraceKind::Quarantine { cause } => {
+                format!("{{\"cause\":{}}}", crate::json::escape(cause))
+            }
+            TraceKind::ICacheMiss | TraceKind::DCacheMiss | TraceKind::WatchdogBite => {
+                "{}".to_string()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_render_as_valid_json() {
+        let events = [
+            TraceEvent { cycle: 1, core: Some(0), kind: TraceKind::Fetch { pc: 0x400, slots: 2 } },
+            TraceEvent { cycle: 2, core: None, kind: TraceKind::WatchdogBite },
+            TraceEvent {
+                cycle: 3,
+                core: None,
+                kind: TraceKind::BusGrant { port: 6, wait: 17, addr: 0x100, write: false },
+            },
+            TraceEvent { cycle: 4, core: Some(2), kind: TraceKind::Quarantine { cause: "x\"y" } },
+        ];
+        for e in events {
+            crate::json::parse_json(&e.args_json()).expect("valid args");
+            assert!(!e.kind.name().is_empty());
+        }
+    }
+}

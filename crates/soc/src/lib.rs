@@ -19,11 +19,13 @@
 //!   schedule, both deterministic and replayable.
 
 mod chaos;
+mod obs;
 mod scenario;
 mod soc;
 mod trace;
 
 pub use chaos::ChaosConfig;
+pub use obs::ObsConfig;
 pub use scenario::{Alignment, CodePosition, Scenario};
 pub use soc::{RunOutcome, Soc, SocBuilder};
 pub use trace::PipelineTrace;

@@ -9,7 +9,10 @@ use sbst_mem::{
     Sram, TrafficInjector,
 };
 
+use sbst_obs::{BusObs, MetricsHub};
+
 use crate::chaos::ChaosConfig;
+use crate::obs::{collect, ObsConfig, SocObs};
 
 /// Why [`Soc::run`] stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +75,7 @@ pub struct SocBuilder {
     sram_latency: u32,
     cores: Vec<(CoreConfig, u32)>,
     chaos: Option<ChaosConfig>,
+    obs: Option<ObsConfig>,
 }
 
 impl SocBuilder {
@@ -111,6 +115,16 @@ impl SocBuilder {
         self
     }
 
+    /// Attaches the observability layer: per-core trace events, bus
+    /// grant-latency histograms and a [`MetricsHub`] at the end of the
+    /// run (see [`Soc::metrics`]). Observation is strictly read-only —
+    /// signatures, verdicts and cycle counts are bit-identical with or
+    /// without it.
+    pub fn observe(mut self, cfg: ObsConfig) -> SocBuilder {
+        self.obs = Some(cfg);
+        self
+    }
+
     /// Builds the SoC around a fresh copy of the accumulated image.
     pub fn build(self) -> Soc {
         self.build_shared(self.flash.clone().freeze())
@@ -137,7 +151,11 @@ impl SocBuilder {
             .chaos
             .map(|c| TrafficInjector::new(c.injector, ports - 1));
         let seu = self.chaos.map(|c| SeuScheduler::new(c.seu));
-        Soc { cores, bus, cycle: 0, injector, seu, seu_log: Vec::new() }
+        let mut soc = Soc { cores, bus, cycle: 0, injector, seu, seu_log: Vec::new(), obs: None };
+        if let Some(cfg) = self.obs {
+            soc.attach_obs(cfg);
+        }
+        soc
     }
 
     /// Freezes the accumulated Flash image for sharing across builds.
@@ -156,6 +174,7 @@ pub struct Soc {
     injector: Option<TrafficInjector>,
     seu: Option<SeuScheduler>,
     seu_log: Vec<SeuEvent>,
+    obs: Option<Box<SocObs>>,
 }
 
 impl Soc {
@@ -253,7 +272,39 @@ impl Soc {
                 self.seu_log.push(SeuEvent { strike, landed });
             }
         }
+        // Observe last, so the sample reflects the cycle that just
+        // executed. The observer is taken out and put back to let it
+        // read the whole SoC; it never mutates simulated state.
+        if self.obs.is_some() {
+            let cycle = self.cycle;
+            let mut obs = self.obs.take().expect("checked");
+            obs.observe(self, cycle);
+            self.obs = Some(obs);
+        }
         self.cycle += 1;
+    }
+
+    /// Attaches the observability layer to a built SoC (equivalent to
+    /// [`SocBuilder::observe`]).
+    pub fn attach_obs(&mut self, cfg: ObsConfig) {
+        let prev = self.cores.iter().map(|(c, _)| c.obs_sample()).collect();
+        self.obs = Some(Box::new(SocObs::new(cfg, prev)));
+        self.bus.attach_obs(BusObs::new(self.bus.ports(), cfg.ring_capacity));
+    }
+
+    /// Whether the observability layer is attached.
+    pub fn observed(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Collects the run's metrics: final per-core and per-cache
+    /// counters, per-port bus statistics with grant-latency histograms,
+    /// and the merged trace-event window. `None` unless the
+    /// observability layer was attached.
+    pub fn metrics(&self) -> Option<MetricsHub> {
+        let obs = self.obs.as_deref()?;
+        let bus_obs = self.bus.obs()?;
+        Some(collect(self, obs, bus_obs))
     }
 
     /// Whether every core has halted cleanly.

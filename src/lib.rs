@@ -18,6 +18,7 @@
 //! | [`soc`] | triple-core SoC, scenarios, pipeline traces |
 //! | [`stl`] | self-test routines, signatures, the **cache-based wrapper**, TCM wrapper, scheduler |
 //! | [`campaign`] | parallel fault-simulation campaigns, Tables I–IV |
+//! | [`obs`] | zero-cost-when-disabled observability: counters, event rings, Chrome-trace export |
 //!
 //! The headline result, as a doctest:
 //!
@@ -48,5 +49,6 @@ pub use sbst_cpu as cpu;
 pub use sbst_fault as fault;
 pub use sbst_isa as isa;
 pub use sbst_mem as mem;
+pub use sbst_obs as obs;
 pub use sbst_soc as soc;
 pub use sbst_stl as stl;
