@@ -10,15 +10,21 @@
 //! The checkpoint is bound to the *exact* fault list by a fingerprint
 //! (FNV-1a over the site taxonomy in list order): resuming against a
 //! different list, order, or taxonomy version is rejected instead of
-//! silently mis-attributing verdicts.
+//! silently mis-attributing verdicts. Since format version 2 it is
+//! *also* bound to the SoC configuration that graded it (core kind,
+//! execution style, scenario, cache geometry and write policy — see
+//! [`fingerprint_config`]): a checkpoint resumed against a mismatched
+//! ECU variant is rejected with [`CheckpointError::ConfigMismatch`]
+//! instead of silently grading the wrong population.
 //!
 //! The on-disk format is deliberately tiny and hand-rolled (the build
 //! is hermetic — no serde):
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "fingerprint": 1234567890123,
+//!   "config": 9876543210,
 //!   "verdicts": ["hang", null, "undetected", ...]
 //! }
 //! ```
@@ -35,19 +41,27 @@ use std::sync::Mutex;
 
 use sbst_fault::{FaultList, FaultSite, Verdict};
 
+use crate::experiment::ExperimentConfig;
 use crate::faultsim::{
     grade_pending, CampaignError, CampaignResult, ExperimentGrader, FaultGrader,
 };
 use crate::{Experiment, Observation};
 
 /// Current checkpoint file format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// The config fingerprint of a checkpoint whose grading configuration
+/// was not recorded (grader-level campaigns with no SoC notion).
+pub const CONFIG_UNBOUND: u64 = 0;
 
 /// The persisted state of a (possibly partial) campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Checkpoint {
     /// Fingerprint of the fault list this checkpoint belongs to.
     pub fingerprint: u64,
+    /// Fingerprint of the SoC/ECU configuration the verdicts were
+    /// graded under ([`CONFIG_UNBOUND`] when not recorded).
+    pub config: u64,
     /// Per-fault verdict slots, in fault-list order.
     pub verdicts: Vec<Option<Verdict>>,
 }
@@ -66,6 +80,16 @@ pub enum CheckpointError {
         /// Fingerprint of the offered fault list.
         expected: u64,
     },
+    /// The checkpoint was graded under a different SoC configuration
+    /// (core kind, scenario, cache geometry, write policy): its
+    /// verdicts describe a different ECU population and must not be
+    /// merged into this campaign.
+    ConfigMismatch {
+        /// Config fingerprint in the file.
+        found: u64,
+        /// Config fingerprint of the offered experiment.
+        expected: u64,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -76,6 +100,11 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::FingerprintMismatch { found, expected } => write!(
                 f,
                 "checkpoint fingerprint {found:#x} does not match fault list {expected:#x}"
+            ),
+            CheckpointError::ConfigMismatch { found, expected } => write!(
+                f,
+                "checkpoint was graded under SoC config {found:#x}, not the offered \
+                 {expected:#x} — resuming would grade the wrong ECU population"
             ),
         }
     }
@@ -89,28 +118,56 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
+/// FNV-1a over a byte stream.
+pub(crate) fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
 /// Stable fingerprint of a fault list (FNV-1a over the `Debug`
 /// rendering of each site, in order, plus the length).
 pub fn fingerprint(faults: &FaultList) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-    };
-    eat(&(faults.len() as u64).to_le_bytes());
+    fnv(&mut h, &(faults.len() as u64).to_le_bytes());
     for site in faults.iter() {
-        eat(format!("{site:?}").as_bytes());
+        fnv(&mut h, format!("{site:?}").as_bytes());
+    }
+    h
+}
+
+/// Stable fingerprint of an experiment's SoC configuration: core kind,
+/// execution style, scenario (active cores / code position / alignment
+/// / skew seed), wrapper settings and cache geometry incl. write
+/// policy — everything that can change what a verdict means (FNV-1a
+/// over the config's `Debug` rendering, which covers every field).
+///
+/// Never returns [`CONFIG_UNBOUND`]; the reserved "not recorded" value
+/// is remapped so a real config can always be distinguished from an
+/// unbound checkpoint.
+pub fn fingerprint_config(config: &ExperimentConfig) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv(&mut h, format!("{config:?}").as_bytes());
+    if h == CONFIG_UNBOUND {
+        h = 1;
     }
     h
 }
 
 impl Checkpoint {
-    /// A fresh, fully ungraded checkpoint for `faults`.
+    /// A fresh, fully ungraded checkpoint for `faults`, not bound to
+    /// any SoC configuration.
     pub fn new(faults: &FaultList) -> Checkpoint {
+        Checkpoint::with_config(faults, CONFIG_UNBOUND)
+    }
+
+    /// A fresh, fully ungraded checkpoint for `faults`, graded under
+    /// the SoC configuration with fingerprint `config`.
+    pub fn with_config(faults: &FaultList, config: u64) -> Checkpoint {
         Checkpoint {
             fingerprint: fingerprint(faults),
+            config,
             verdicts: vec![None; faults.len()],
         }
     }
@@ -131,6 +188,7 @@ impl Checkpoint {
         out.push_str("{\n");
         out.push_str(&format!("  \"version\": {CHECKPOINT_VERSION},\n"));
         out.push_str(&format!("  \"fingerprint\": {},\n", self.fingerprint));
+        out.push_str(&format!("  \"config\": {},\n", self.config));
         out.push_str("  \"verdicts\": [");
         for (i, v) in self.verdicts.iter().enumerate() {
             if i > 0 {
@@ -160,6 +218,7 @@ impl Checkpoint {
         p.expect('{')?;
         let mut version = None;
         let mut fp = None;
+        let mut config = None;
         let mut verdicts = None;
         loop {
             let key = p.string()?;
@@ -167,6 +226,7 @@ impl Checkpoint {
             match key.as_str() {
                 "version" => version = Some(p.integer()?),
                 "fingerprint" => fp = Some(p.integer()?),
+                "config" => config = Some(p.integer()?),
                 "verdicts" => verdicts = Some(p.verdict_array()?),
                 other => {
                     return Err(CheckpointError::Malformed(format!("unknown key {other:?}")))
@@ -177,11 +237,15 @@ impl Checkpoint {
             }
         }
         let version = version.ok_or_else(|| malformed("missing version"))?;
-        if version != CHECKPOINT_VERSION as u64 {
-            return Err(malformed(&format!("unsupported version {version}")));
+        match version {
+            // Version 1 predates config binding; treat it as unbound.
+            1 => {}
+            v if v == CHECKPOINT_VERSION as u64 => {}
+            v => return Err(malformed(&format!("unsupported version {v}"))),
         }
         Ok(Checkpoint {
             fingerprint: fp.ok_or_else(|| malformed("missing fingerprint"))?,
+            config: config.unwrap_or(CONFIG_UNBOUND),
             verdicts: verdicts.ok_or_else(|| malformed("missing verdicts"))?,
         })
     }
@@ -224,7 +288,7 @@ impl Checkpoint {
     }
 }
 
-fn malformed(msg: &str) -> CheckpointError {
+pub(crate) fn malformed(msg: &str) -> CheckpointError {
     CheckpointError::Malformed(msg.to_string())
 }
 
@@ -234,9 +298,10 @@ fn tmp_path(path: &Path) -> PathBuf {
     PathBuf::from(tmp)
 }
 
-/// A minimal parser for exactly the checkpoint schema.
-struct Parser<'a> {
-    rest: &'a str,
+/// A minimal parser for exactly the checkpoint schema (also reused by
+/// the fleet's shard-result files, which share its vocabulary).
+pub(crate) struct Parser<'a> {
+    pub(crate) rest: &'a str,
 }
 
 impl Parser<'_> {
@@ -244,7 +309,7 @@ impl Parser<'_> {
         self.rest = self.rest.trim_start();
     }
 
-    fn expect(&mut self, c: char) -> Result<(), CheckpointError> {
+    pub(crate) fn expect(&mut self, c: char) -> Result<(), CheckpointError> {
         self.skip_ws();
         match self.rest.strip_prefix(c) {
             Some(r) => {
@@ -259,7 +324,7 @@ impl Parser<'_> {
     }
 
     /// `"..."` (no escapes — verdict tags and keys never need them).
-    fn string(&mut self) -> Result<String, CheckpointError> {
+    pub(crate) fn string(&mut self) -> Result<String, CheckpointError> {
         self.expect('"')?;
         let end = self
             .rest
@@ -270,7 +335,7 @@ impl Parser<'_> {
         Ok(s)
     }
 
-    fn integer(&mut self) -> Result<u64, CheckpointError> {
+    pub(crate) fn integer(&mut self) -> Result<u64, CheckpointError> {
         self.skip_ws();
         let end = self
             .rest
@@ -287,7 +352,7 @@ impl Parser<'_> {
     }
 
     /// `, ` → `true` (more elements), or the closing char → `false`.
-    fn comma_or(&mut self, close: char) -> Result<bool, CheckpointError> {
+    pub(crate) fn comma_or(&mut self, close: char) -> Result<bool, CheckpointError> {
         self.skip_ws();
         if let Some(r) = self.rest.strip_prefix(',') {
             self.rest = r;
@@ -301,7 +366,7 @@ impl Parser<'_> {
         }
     }
 
-    fn verdict_array(&mut self) -> Result<Vec<Option<Verdict>>, CheckpointError> {
+    pub(crate) fn verdict_array(&mut self) -> Result<Vec<Option<Verdict>>, CheckpointError> {
         self.expect('[')?;
         let mut out = Vec::new();
         self.skip_ws();
@@ -340,12 +405,25 @@ pub struct CheckpointConfig {
     /// partial outcome — the deterministic stand-in for an interrupt
     /// (also useful for time-boxed campaign slices).
     pub max_new: Option<usize>,
+    /// Fingerprint of the SoC configuration doing the grading (see
+    /// [`fingerprint_config`]). When not [`CONFIG_UNBOUND`], a
+    /// checkpoint recorded under a *different* configuration is
+    /// rejected with [`CheckpointError::ConfigMismatch`], and new
+    /// checkpoints are stamped with this value.
+    pub config: u64,
 }
 
 impl CheckpointConfig {
-    /// Checkpoints to `path` every 64 graded faults, no slice limit.
+    /// Checkpoints to `path` every 64 graded faults, no slice limit, no
+    /// configuration binding.
     pub fn new(path: impl Into<PathBuf>) -> CheckpointConfig {
-        CheckpointConfig { path: path.into(), every: 64, max_new: None }
+        CheckpointConfig { path: path.into(), every: 64, max_new: None, config: CONFIG_UNBOUND }
+    }
+
+    /// Like [`new`](CheckpointConfig::new) but bound to the SoC
+    /// configuration with fingerprint `config`.
+    pub fn bound(path: impl Into<PathBuf>, config: u64) -> CheckpointConfig {
+        CheckpointConfig { config, ..CheckpointConfig::new(path) }
     }
 }
 
@@ -393,6 +471,12 @@ pub fn resume_campaign_graded(
                 expected: fp,
             });
         }
+        if cfg.config != CONFIG_UNBOUND && cp.config != cfg.config {
+            return Err(CheckpointError::ConfigMismatch {
+                found: cp.config,
+                expected: cfg.config,
+            });
+        }
         if cp.verdicts.len() != faults.len() {
             return Err(malformed(&format!(
                 "checkpoint has {} slots for {} faults",
@@ -402,7 +486,7 @@ pub fn resume_campaign_graded(
         }
         cp
     } else {
-        Checkpoint::new(faults)
+        Checkpoint::with_config(faults, cfg.config)
     };
     let restored = checkpoint.completed();
 
@@ -434,7 +518,8 @@ pub fn resume_campaign_graded(
         let done = slots.iter().filter(|v| v.is_some()).count();
         if done >= state.0 + every {
             state.0 = done;
-            let mut snapshot = Checkpoint { fingerprint: state.2, verdicts: slots.to_vec() };
+            let mut snapshot =
+                Checkpoint { fingerprint: state.2, config: cfg.config, verdicts: slots.to_vec() };
             for &i in masked_ref {
                 snapshot.verdicts[i] = None;
             }
@@ -469,6 +554,12 @@ pub fn resume_campaign_graded(
 /// `faults` — the production entry point; see
 /// [`resume_campaign_graded`] for the semantics.
 ///
+/// The checkpoint is bound to the experiment's SoC configuration: if
+/// `cfg` does not already pin a config fingerprint, the experiment's
+/// own is used, so a checkpoint recorded under a different core kind,
+/// scenario or cache geometry is rejected instead of silently graded
+/// against the wrong population.
+///
 /// # Errors
 ///
 /// Propagates checkpoint I/O and format errors.
@@ -480,7 +571,12 @@ pub fn resume_campaign(
     cfg: &CheckpointConfig,
 ) -> Result<ResumableOutcome, CheckpointError> {
     let grader = ExperimentGrader { experiment, golden };
-    resume_campaign_graded(&grader, faults, threads, cfg)
+    let cfg = if cfg.config == CONFIG_UNBOUND {
+        CheckpointConfig { config: experiment.config_fingerprint(), ..cfg.clone() }
+    } else {
+        cfg.clone()
+    };
+    resume_campaign_graded(&grader, faults, threads, &cfg)
 }
 
 #[cfg(test)]
@@ -501,12 +597,22 @@ mod tests {
 
     #[test]
     fn json_round_trip_preserves_every_slot() {
-        let mut cp = Checkpoint::new(&list(7));
+        let mut cp = Checkpoint::with_config(&list(7), 0xdead_beef);
         cp.verdicts[0] = Some(Verdict::Hang);
         cp.verdicts[3] = Some(Verdict::Undetected);
         cp.verdicts[6] = Some(Verdict::SimError);
         let back = Checkpoint::from_json(&cp.to_json()).expect("parses");
         assert_eq!(cp, back);
+        assert_eq!(back.config, 0xdead_beef);
+    }
+
+    #[test]
+    fn version_1_checkpoints_parse_as_config_unbound() {
+        let text = "{\"version\": 1, \"fingerprint\": 42, \"verdicts\": [\"hang\", null]}";
+        let cp = Checkpoint::from_json(text).expect("v1 parses");
+        assert_eq!(cp.config, CONFIG_UNBOUND);
+        assert_eq!(cp.fingerprint, 42);
+        assert_eq!(cp.verdicts, vec![Some(Verdict::Hang), None]);
     }
 
     #[test]
@@ -552,11 +658,94 @@ mod tests {
             "",
             "{",
             "{}",
-            "{\"version\": 1}",
+            "{\"version\": 2}",
             "{\"version\": 99, \"fingerprint\": 1, \"verdicts\": []}",
-            "{\"version\": 1, \"fingerprint\": 1, \"verdicts\": [\"bogus\"]}",
+            "{\"version\": 2, \"fingerprint\": 1, \"verdicts\": [\"bogus\"]}",
         ] {
             assert!(Checkpoint::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    /// Torn-write regression: a worker killed mid-save must never leave
+    /// a truncated/corrupt checkpoint where the last good one was. The
+    /// save protocol (write to a same-directory temp file, then rename
+    /// over the target) means a crash can only ever leave (a) the old
+    /// intact file plus a partial temp file, or (b) the new intact
+    /// file — never a torn target.
+    #[test]
+    fn torn_write_cannot_corrupt_the_last_good_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("det-sbst-torn-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join("torn.ckpt.json");
+        let mut good = Checkpoint::with_config(&list(6), 7);
+        good.verdicts[2] = Some(Verdict::WrongSignature);
+        good.save(&path).expect("saves");
+
+        // Simulate a crash mid-save of a *newer* checkpoint: the temp
+        // file holds a torn prefix, the rename never happened.
+        let mut newer = good.clone();
+        newer.verdicts[4] = Some(Verdict::Hang);
+        let torn = &newer.to_json()[..newer.to_json().len() / 2];
+        fs::write(tmp_path(&path), torn).expect("write torn temp");
+        assert_eq!(
+            Checkpoint::load(&path).expect("last good checkpoint intact"),
+            good,
+            "a torn temp file must never shadow the target"
+        );
+
+        // The next save replaces the leftover temp file and completes.
+        newer.save(&path).expect("saves over leftover temp");
+        assert_eq!(Checkpoint::load(&path).expect("loads"), newer);
+        assert!(!tmp_path(&path).exists());
+
+        // And a directly torn *target* (the failure mode the temp+rename
+        // protocol exists to prevent) is rejected as malformed, never
+        // silently half-parsed.
+        fs::write(&path, torn).expect("write torn target");
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(CheckpointError::Malformed(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_every_config_axis() {
+        use crate::{ExecStyle, ExperimentConfig};
+        use sbst_cpu::CoreKind;
+        use sbst_mem::{CacheConfig, WritePolicy};
+        use sbst_soc::Scenario;
+
+        let base = ExperimentConfig::new(
+            CoreKind::A,
+            ExecStyle::CacheWrapped,
+            Scenario::single_core(),
+        );
+        let fp = fingerprint_config(&base);
+        assert_ne!(fp, CONFIG_UNBOUND, "real configs never collide with the unbound value");
+        assert_eq!(fp, fingerprint_config(&base), "deterministic");
+
+        let variants = [
+            ExperimentConfig { kind: CoreKind::B, ..base },
+            ExperimentConfig { style: ExecStyle::LegacyUncached, ..base },
+            ExperimentConfig {
+                scenario: Scenario { active_cores: 3, ..base.scenario },
+                ..base
+            },
+            ExperimentConfig {
+                dcache: CacheConfig {
+                    policy: WritePolicy::NoWriteAllocate,
+                    ..CacheConfig::dcache_4k()
+                },
+                ..base
+            },
+            ExperimentConfig {
+                icache: CacheConfig { size_bytes: 4 * 1024, ..CacheConfig::icache_8k() },
+                ..base
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(fp, fingerprint_config(v), "variant #{i} must change the fingerprint");
         }
     }
 }

@@ -135,6 +135,11 @@ pub struct Experiment {
     /// was split into cache-sized parts, paper §III.2.2).
     cut_mailboxes: Vec<u32>,
     watchdog: u64,
+    /// Fingerprint of the [`ExperimentConfig`] this experiment was
+    /// assembled from (see
+    /// [`fingerprint_config`](crate::fingerprint_config)) — binds
+    /// checkpoints to the exact SoC configuration that graded them.
+    config_fp: u64,
 }
 
 /// Result-mailbox base of core `i` in campaign runs.
@@ -315,6 +320,7 @@ impl Experiment {
             env_cut,
             cut_mailboxes,
             watchdog: 50_000_000,
+            config_fp: crate::checkpoint::fingerprint_config(config),
         };
         // Calibrate the watchdog from the golden run.
         let golden = exp.run(FaultPlane::fault_free());
@@ -330,6 +336,12 @@ impl Experiment {
     /// The core under test's routine environment.
     pub fn env(&self) -> RoutineEnv {
         self.env_cut
+    }
+
+    /// Fingerprint of the configuration this experiment was assembled
+    /// from — what checkpoints of its campaigns are bound to.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fp
     }
 
     /// Runs the experiment once with `plane` armed on the core under

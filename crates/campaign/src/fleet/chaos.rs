@@ -1,0 +1,199 @@
+//! Worker chaos plane: seeded failure injection for fleet campaigns.
+//!
+//! The fleet orchestrator's headline property — terminate, never
+//! deadlock, completed verdicts bit-identical to a serial run — is only
+//! credible if workers actually die. [`WorkerChaos`] decides, purely
+//! from `(seed, shard, attempt)`, whether a given grading attempt
+//! panics mid-shard, hangs past its lease, runs slow, or silently
+//! corrupts its result. The roll is a pure function, so the same seed
+//! replays the same failure schedule on every run and in every worker
+//! topology (threads or processes).
+
+use sbst_mem::Prng;
+
+/// What the chaos plane does to one grading attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// No injection: the attempt runs honestly.
+    None,
+    /// Panic after grading `after` faults (worker dies mid-shard).
+    Panic {
+        /// Faults graded before the panic fires.
+        after: usize,
+    },
+    /// Hang after grading `after` faults until cancelled/killed.
+    Hang {
+        /// Faults graded before the hang starts.
+        after: usize,
+    },
+    /// Grade honestly but sleep long enough to stress the lease clock.
+    Slow,
+    /// Complete, but flip one verdict *after* the result is sealed, so
+    /// the orchestrator's checksum validation must catch it.
+    Corrupt,
+}
+
+/// A failure forced onto one specific `(shard, attempt)` pair —
+/// deterministic injections for CI smoke runs, checked before the
+/// probabilistic roll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForcedFailure {
+    /// Shard index the injection targets.
+    pub shard: usize,
+    /// Attempt number (1-based; attempt 1 is the first lease).
+    pub attempt: u8,
+    /// The injected action.
+    pub action: ChaosAction,
+}
+
+/// Seeded per-attempt failure injection configuration.
+///
+/// Probabilities are per-mille and evaluated in order (panic, hang,
+/// slow, corrupt); at most one action fires per attempt.
+#[derive(Debug, Clone)]
+pub struct WorkerChaos {
+    /// PRNG seed; rolls derive from `seed`, shard and attempt only.
+    pub seed: u64,
+    /// Panic probability, ‰ per attempt.
+    pub panic_permille: u32,
+    /// Hang probability, ‰ per attempt.
+    pub hang_permille: u32,
+    /// Slowdown probability, ‰ per attempt.
+    pub slow_permille: u32,
+    /// Result-corruption probability, ‰ per attempt.
+    pub corrupt_permille: u32,
+    /// How long a [`ChaosAction::Slow`] attempt sleeps before grading.
+    pub slow_millis: u64,
+    /// Deterministic injections, consulted before any roll.
+    pub forced: Vec<ForcedFailure>,
+}
+
+impl WorkerChaos {
+    /// No injection at all.
+    pub fn off() -> WorkerChaos {
+        WorkerChaos {
+            seed: 0,
+            panic_permille: 0,
+            hang_permille: 0,
+            slow_permille: 0,
+            corrupt_permille: 0,
+            slow_millis: 0,
+            forced: Vec::new(),
+        }
+    }
+
+    /// The standard storm used by the property tests: every failure
+    /// mode armed with double-digit per-mille rates.
+    pub fn storm(seed: u64) -> WorkerChaos {
+        WorkerChaos {
+            seed,
+            panic_permille: 120,
+            hang_permille: 60,
+            slow_permille: 80,
+            corrupt_permille: 60,
+            slow_millis: 10,
+            forced: Vec::new(),
+        }
+    }
+
+    /// Whether any injection can ever fire.
+    pub fn is_active(&self) -> bool {
+        !self.forced.is_empty()
+            || self.panic_permille > 0
+            || self.hang_permille > 0
+            || self.slow_permille > 0
+            || self.corrupt_permille > 0
+    }
+
+    /// The action for attempt `attempt` (1-based) on shard `shard`
+    /// whose fault slice holds `len` faults. Pure: same inputs, same
+    /// action.
+    pub fn roll(&self, shard: usize, attempt: u8, len: usize) -> ChaosAction {
+        for f in &self.forced {
+            if f.shard == shard && f.attempt == attempt {
+                return f.action;
+            }
+        }
+        let mut rng = Prng::new(self.seed ^ 0x5eed_f1ee_7000_0000)
+            .split(shard as u64)
+            .split(attempt as u64);
+        let mid = |rng: &mut Prng| {
+            if len <= 1 { 0 } else { rng.below(len as u64) as usize }
+        };
+        if rng.chance(self.panic_permille, 1000) {
+            return ChaosAction::Panic { after: mid(&mut rng) };
+        }
+        if rng.chance(self.hang_permille, 1000) {
+            return ChaosAction::Hang { after: mid(&mut rng) };
+        }
+        if rng.chance(self.slow_permille, 1000) {
+            return ChaosAction::Slow;
+        }
+        if rng.chance(self.corrupt_permille, 1000) {
+            return ChaosAction::Corrupt;
+        }
+        ChaosAction::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic_and_attempt_sensitive() {
+        let chaos = WorkerChaos::storm(7);
+        for shard in 0..40 {
+            for attempt in 1..5 {
+                assert_eq!(
+                    chaos.roll(shard, attempt, 9),
+                    chaos.roll(shard, attempt, 9),
+                    "shard {shard} attempt {attempt}"
+                );
+            }
+        }
+        // Different attempts on the same shard see independent rolls:
+        // across enough shards at least one shard must change action
+        // between attempt 1 and 2.
+        let changed = (0..200)
+            .any(|s| chaos.roll(s, 1, 9) != chaos.roll(s, 2, 9));
+        assert!(changed, "attempt number never affected the roll");
+    }
+
+    #[test]
+    fn storm_actually_fires_every_mode() {
+        let chaos = WorkerChaos::storm(21);
+        let mut saw = [false; 4];
+        for shard in 0..4000 {
+            match chaos.roll(shard, 1, 8) {
+                ChaosAction::Panic { after } => {
+                    assert!(after < 8);
+                    saw[0] = true;
+                }
+                ChaosAction::Hang { after } => {
+                    assert!(after < 8);
+                    saw[1] = true;
+                }
+                ChaosAction::Slow => saw[2] = true,
+                ChaosAction::Corrupt => saw[3] = true,
+                ChaosAction::None => {}
+            }
+        }
+        assert_eq!(saw, [true; 4], "panic/hang/slow/corrupt all observed");
+    }
+
+    #[test]
+    fn forced_failures_override_the_roll() {
+        let mut chaos = WorkerChaos::off();
+        chaos.forced.push(ForcedFailure {
+            shard: 3,
+            attempt: 1,
+            action: ChaosAction::Panic { after: 2 },
+        });
+        assert_eq!(chaos.roll(3, 1, 10), ChaosAction::Panic { after: 2 });
+        assert_eq!(chaos.roll(3, 2, 10), ChaosAction::None);
+        assert_eq!(chaos.roll(4, 1, 10), ChaosAction::None);
+        assert!(chaos.is_active());
+        assert!(!WorkerChaos::off().is_active());
+    }
+}

@@ -40,6 +40,7 @@ pub mod ablation;
 pub mod chaos;
 mod checkpoint;
 mod experiment;
+pub mod fleet;
 pub mod split;
 mod faultsim;
 pub mod tables;
@@ -47,8 +48,8 @@ mod telemetry;
 
 pub use chaos::{run_chaos_campaign, ChaosCell, ChaosReport, ChaosSweepConfig, ChaosTelemetry};
 pub use checkpoint::{
-    fingerprint, resume_campaign, resume_campaign_graded, Checkpoint, CheckpointConfig,
-    CheckpointError, ResumableOutcome, CHECKPOINT_VERSION,
+    fingerprint, fingerprint_config, resume_campaign, resume_campaign_graded, Checkpoint,
+    CheckpointConfig, CheckpointError, ResumableOutcome, CHECKPOINT_VERSION, CONFIG_UNBOUND,
 };
 pub use experiment::{
     ExecStyle, Experiment, ExperimentConfig, Observation, RoutineFactory, Snapshot,

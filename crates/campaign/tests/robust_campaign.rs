@@ -115,9 +115,9 @@ fn interrupted_campaign_resumes_to_the_identical_result() {
         invocations += 1;
         let grader = SyntheticGrader::new(faults.sites());
         let cfg = CheckpointConfig {
-            path: path.clone(),
             every: 5,
             max_new: Some(17),
+            ..CheckpointConfig::new(path.clone())
         };
         let outcome = resume_campaign_graded(&grader, &faults, 3, &cfg).expect("slice");
         assert!(outcome.newly_graded <= 17);
@@ -162,7 +162,8 @@ fn every_mid_campaign_checkpoint_is_consistent_and_resumes_identically() {
         let grader = SyntheticGrader::new(faults.sites());
         // Many workers, a checkpoint per verdict, die every 7 faults:
         // maximal pressure on the publish/observe seam.
-        let cfg = CheckpointConfig { path: path.clone(), every: 1, max_new: Some(7) };
+        let cfg =
+            CheckpointConfig { every: 1, max_new: Some(7), ..CheckpointConfig::new(path.clone()) };
         let outcome = resume_campaign_graded(&grader, &faults, 8, &cfg).expect("slice");
         let on_disk = Checkpoint::load(&path).expect("mid-campaign checkpoint loads");
         assert_eq!(on_disk.fingerprint, fingerprint(&faults));
@@ -218,7 +219,8 @@ fn checkpoint_file_on_disk_tracks_progress() {
     let path = scratch_path("progress.ckpt.json");
     let _ = std::fs::remove_file(&path);
     let grader = SyntheticGrader::new(faults.sites());
-    let cfg = CheckpointConfig { path: path.clone(), every: 1, max_new: Some(5) };
+    let cfg =
+        CheckpointConfig { every: 1, max_new: Some(5), ..CheckpointConfig::new(path.clone()) };
     let outcome = resume_campaign_graded(&grader, &faults, 1, &cfg).expect("slice");
     assert!(!outcome.complete);
     assert_eq!(outcome.newly_graded, 5);
@@ -252,5 +254,66 @@ fn resumed_experiment_campaign_matches_direct_run() {
     assert!(outcome.complete);
     assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
     assert_eq!(outcome.result, direct);
+    // The checkpoint on disk is stamped with the experiment's config.
+    let on_disk = Checkpoint::load(&path).expect("loads");
+    assert_eq!(on_disk.config, exp.config_fingerprint());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A checkpoint recorded under one SoC configuration must not resume a
+/// campaign against another ECU variant: the same fault list graded on
+/// a different core count / cache geometry produces differently-meaning
+/// verdicts, so the resume is rejected with a clear error.
+#[test]
+fn checkpoint_for_a_different_soc_config_is_rejected() {
+    let factory = routines_for(Unit::Icu);
+    let single = Experiment::assemble(
+        &*factory,
+        CoreKind::A,
+        ExecStyle::CacheWrapped,
+        &Scenario::single_core(),
+    )
+    .expect("single-core experiment");
+    let triple = Experiment::assemble(
+        &*factory,
+        CoreKind::A,
+        ExecStyle::CacheWrapped,
+        &Scenario { active_cores: 3, ..Scenario::single_core() },
+    )
+    .expect("triple-core experiment");
+    assert_ne!(single.config_fingerprint(), triple.config_fingerprint());
+
+    // Stride 25 over the ~118-site collapsed ICU list keeps ~5 faults —
+    // comfortably more than `max_new: 2`, so the first pass really is
+    // partial (stride > list length would collapse to a single fault
+    // and complete immediately).
+    let faults = unit_fault_list(CoreKind::A, Unit::Icu).sample(25);
+    assert!(faults.len() > 2, "need a partial first pass");
+    let path = scratch_path("config-mismatch.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+
+    // Record a (partial) checkpoint under the single-core config...
+    let golden = single.golden();
+    let cfg = CheckpointConfig { max_new: Some(2), ..CheckpointConfig::new(path.clone()) };
+    let partial =
+        resume_campaign(&single, &golden, &faults, 0, &cfg).expect("partial campaign");
+    assert!(!partial.complete);
+
+    // ...then try to finish it on the triple-core variant.
+    let golden3 = triple.golden();
+    let err = resume_campaign(&triple, &golden3, &faults, 0, &CheckpointConfig::new(path.clone()))
+        .expect_err("config mismatch must be rejected");
+    match err {
+        CheckpointError::ConfigMismatch { found, expected } => {
+            assert_eq!(found, single.config_fingerprint());
+            assert_eq!(expected, triple.config_fingerprint());
+        }
+        other => panic!("wrong error: {other}"),
+    }
+
+    // The matching experiment still resumes fine.
+    let finished = resume_campaign(&single, &golden, &faults, 0, &CheckpointConfig::new(path.clone()))
+        .expect("matching config resumes");
+    assert!(finished.complete);
     let _ = std::fs::remove_file(&path);
 }

@@ -35,9 +35,9 @@ pub mod trace;
 pub use hist::Histogram;
 pub use json::{parse_json, Json, JsonError};
 pub use metrics::{
-    BusMetrics, BusObs, CacheCounters, CoreCounters, CoreMetrics, CoreSample, MetricsHub,
-    PortMetrics,
+    BusMetrics, BusObs, CacheCounters, CoreCounters, CoreMetrics, CoreSample, FleetCounters,
+    MetricsHub, PortMetrics,
 };
 pub use ring::EventRing;
-pub use telemetry::{CampaignTelemetry, ProgressSnapshot, VerdictMix};
+pub use telemetry::{CampaignTelemetry, FleetTelemetry, ProgressSnapshot, VerdictMix};
 pub use trace::{TraceEvent, TraceKind};

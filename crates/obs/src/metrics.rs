@@ -212,6 +212,32 @@ impl BusObs {
     }
 }
 
+/// Recovery counters of a fleet-campaign orchestrator run: how many
+/// shards were leased, how often workers had to be retried, stolen
+/// from, or quarantined, and how much work checkpoints saved. Attached
+/// to a [`MetricsHub`] so fleet recovery behaviour rides through the
+/// existing summary-table / JSONL exporters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetCounters {
+    /// Shards in the plan.
+    pub shards: u64,
+    /// Shards whose verdicts were accepted.
+    pub completed: u64,
+    /// Shards that exhausted their retry budget.
+    pub quarantined: u64,
+    /// Leases granted (first tries + retries + steals).
+    pub leases: u64,
+    /// Failed attempts re-scheduled with backoff.
+    pub retries: u64,
+    /// Expired leases revoked and re-issued to another worker.
+    pub steals: u64,
+    /// Attempts that restored graded faults from a shard checkpoint.
+    pub resumes: u64,
+    /// Results that arrived after their lease had been revoked (or the
+    /// shard already completed) and were dropped.
+    pub late_results: u64,
+}
+
 /// Everything one observed run produced: final counters of every layer
 /// plus the merged, cycle-sorted event window.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -233,6 +259,9 @@ pub struct MetricsHub {
     pub seu_landed: u64,
     /// Requests issued by the traffic injector, if one was configured.
     pub injector_requests: Option<u64>,
+    /// Fleet-orchestrator recovery counters, when the hub describes a
+    /// fleet campaign run rather than a single SoC simulation.
+    pub fleet: Option<FleetCounters>,
 }
 
 impl MetricsHub {
@@ -296,6 +325,20 @@ impl MetricsHub {
             out.push_str(&format!("; injector: {inj} requests"));
         }
         out.push('\n');
+        if let Some(f) = &self.fleet {
+            out.push_str(&format!(
+                "fleet: {}/{} shards completed, {} quarantined; {} leases, \
+                 {} retries, {} steals, {} resumes, {} late results\n",
+                f.completed,
+                f.shards,
+                f.quarantined,
+                f.leases,
+                f.retries,
+                f.steals,
+                f.resumes,
+                f.late_results,
+            ));
+        }
         out
     }
 
@@ -432,6 +475,16 @@ mod tests {
             seu_strikes: 2,
             seu_landed: 1,
             injector_requests: Some(7),
+            fleet: Some(FleetCounters {
+                shards: 12,
+                completed: 11,
+                quarantined: 1,
+                leases: 17,
+                retries: 4,
+                steals: 2,
+                resumes: 3,
+                late_results: 1,
+            }),
         }
     }
 
@@ -461,7 +514,15 @@ mod tests {
     #[test]
     fn summary_table_mentions_every_section() {
         let table = sample_hub().summary_table();
-        for needle in ["core0", "bus:", "port0", "seu: 2 rolled", "injector: 7 requests"] {
+        for needle in [
+            "core0",
+            "bus:",
+            "port0",
+            "seu: 2 rolled",
+            "injector: 7 requests",
+            "fleet: 11/12 shards completed",
+            "2 steals",
+        ] {
             assert!(table.contains(needle), "missing {needle:?} in:\n{table}");
         }
     }

@@ -46,6 +46,46 @@ pub enum TraceKind {
         /// Human-readable failure cause of the last attempt.
         cause: &'static str,
     },
+    /// A fleet shard was leased to a worker. For fleet events the
+    /// `cycle` field carries milliseconds since the fleet run started
+    /// and `core` carries the worker id.
+    ShardLease {
+        /// Shard index within the fleet plan.
+        shard: u32,
+        /// Attempt number (0 = first try).
+        attempt: u8,
+    },
+    /// A failed shard attempt was scheduled for retry after backoff.
+    ShardRetry {
+        /// Shard index within the fleet plan.
+        shard: u32,
+        /// Failures accumulated so far (drives the exponential backoff).
+        failures: u8,
+        /// Jittered backoff delay before the next lease, in ms.
+        backoff_ms: u32,
+        /// Human-readable failure cause.
+        cause: &'static str,
+    },
+    /// An expired lease was revoked and its shard put back up for
+    /// stealing by another worker.
+    ShardSteal {
+        /// Shard index within the fleet plan.
+        shard: u32,
+    },
+    /// A shard exhausted its retry budget and was quarantined.
+    ShardQuarantine {
+        /// Shard index within the fleet plan.
+        shard: u32,
+        /// Human-readable failure cause of the last attempt.
+        cause: &'static str,
+    },
+    /// A shard's verdicts were accepted.
+    ShardDone {
+        /// Shard index within the fleet plan.
+        shard: u32,
+        /// Faults restored from its checkpoint instead of re-graded.
+        restored: u32,
+    },
 }
 
 impl TraceKind {
@@ -59,6 +99,11 @@ impl TraceKind {
             TraceKind::SeuStrike { .. } => "seu-strike",
             TraceKind::WatchdogBite => "watchdog-bite",
             TraceKind::Quarantine { .. } => "quarantine",
+            TraceKind::ShardLease { .. } => "shard-lease",
+            TraceKind::ShardRetry { .. } => "shard-retry",
+            TraceKind::ShardSteal { .. } => "shard-steal",
+            TraceKind::ShardQuarantine { .. } => "shard-quarantine",
+            TraceKind::ShardDone { .. } => "shard-done",
         }
     }
 }
@@ -91,6 +136,20 @@ impl TraceEvent {
             TraceKind::Quarantine { cause } => {
                 format!("{{\"cause\":{}}}", crate::json::escape(cause))
             }
+            TraceKind::ShardLease { shard, attempt } => {
+                format!("{{\"shard\":{shard},\"attempt\":{attempt}}}")
+            }
+            TraceKind::ShardRetry { shard, failures, backoff_ms, cause } => format!(
+                "{{\"shard\":{shard},\"failures\":{failures},\"backoff_ms\":{backoff_ms},\"cause\":{}}}",
+                crate::json::escape(cause)
+            ),
+            TraceKind::ShardSteal { shard } => format!("{{\"shard\":{shard}}}"),
+            TraceKind::ShardQuarantine { shard, cause } => {
+                format!("{{\"shard\":{shard},\"cause\":{}}}", crate::json::escape(cause))
+            }
+            TraceKind::ShardDone { shard, restored } => {
+                format!("{{\"shard\":{shard},\"restored\":{restored}}}")
+            }
             TraceKind::ICacheMiss | TraceKind::DCacheMiss | TraceKind::WatchdogBite => {
                 "{}".to_string()
             }
@@ -113,6 +172,32 @@ mod tests {
                 kind: TraceKind::BusGrant { port: 6, wait: 17, addr: 0x100, write: false },
             },
             TraceEvent { cycle: 4, core: Some(2), kind: TraceKind::Quarantine { cause: "x\"y" } },
+            TraceEvent {
+                cycle: 5,
+                core: Some(1),
+                kind: TraceKind::ShardLease { shard: 7, attempt: 0 },
+            },
+            TraceEvent {
+                cycle: 6,
+                core: Some(1),
+                kind: TraceKind::ShardRetry {
+                    shard: 7,
+                    failures: 2,
+                    backoff_ms: 12,
+                    cause: "worker panic",
+                },
+            },
+            TraceEvent { cycle: 7, core: None, kind: TraceKind::ShardSteal { shard: 7 } },
+            TraceEvent {
+                cycle: 8,
+                core: None,
+                kind: TraceKind::ShardQuarantine { shard: 7, cause: "hang" },
+            },
+            TraceEvent {
+                cycle: 9,
+                core: Some(0),
+                kind: TraceKind::ShardDone { shard: 7, restored: 3 },
+            },
         ];
         for e in events {
             crate::json::parse_json(&e.args_json()).expect("valid args");

@@ -1,0 +1,136 @@
+//! Fleet campaign demo: a heterogeneous ECU population graded through
+//! the lease-based fleet orchestrator while a seeded chaos plane
+//! panics, hangs and corrupts workers mid-shard.
+//!
+//! Three acts:
+//!
+//! 1. an uninterrupted serial run over the whole population — the
+//!    ground truth every fleet run must reproduce bit-identically;
+//! 2. a 4-worker fleet under a chaos storm with a forced panic and a
+//!    forced hang — leases expire, work is stolen, shards retried with
+//!    jittered exponential backoff, and the merged verdict map still
+//!    equals the serial baseline;
+//! 3. a killed worker resuming from its crash-atomic shard checkpoint
+//!    — the retry restores already-graded faults instead of paying for
+//!    them twice.
+//!
+//! ```sh
+//! cargo run --release --example fleet_boot
+//! ```
+
+use std::time::Duration;
+
+use det_sbst::campaign::fleet::{
+    run_fleet, run_fleet_serial, ChaosAction, EcuSpec, ExperimentFleetGrader, FleetConfig,
+    FleetPlan, ForcedFailure, LeasePolicy, ShardFate, WorkerChaos,
+};
+use det_sbst::cpu::unit_fault_list;
+use det_sbst::fault::{FaultList, Unit};
+
+fn plan() -> FleetPlan {
+    let ecus = EcuSpec::population(Unit::Icu);
+    let faults: Vec<FaultList> = ecus
+        .iter()
+        .map(|e| unit_fault_list(e.config.kind, Unit::Icu).sample(19))
+        .collect();
+    FleetPlan::build(ecus, faults, 3)
+}
+
+fn main() {
+    let plan = plan();
+    println!("ECU population under test:");
+    for (i, ecu) in plan.ecus.iter().enumerate() {
+        println!(
+            "  #{i} {:18} {} faults, fingerprint {:#018x}",
+            ecu.name,
+            plan.ecu_faults(i).len(),
+            ecu.fingerprint()
+        );
+    }
+    println!(
+        "=> {} faults tiled into {} leased shards\n",
+        plan.total_faults(),
+        plan.shard_count()
+    );
+
+    // Act 1 — the ground truth.
+    let grader = ExperimentFleetGrader::new(&plan).expect("assemble fleet");
+    let baseline = run_fleet_serial(&plan, &grader);
+    println!("act 1: serial baseline graded {} shards\n", baseline.len());
+
+    // Act 2 — chaos storm with a forced panic and a forced hang.
+    let mut chaos = WorkerChaos::storm(0xf1ee7);
+    chaos.forced.extend([
+        ForcedFailure { shard: 0, attempt: 1, action: ChaosAction::Panic { after: 1 } },
+        ForcedFailure { shard: 2, attempt: 1, action: ChaosAction::Hang { after: 0 } },
+    ]);
+    let cfg = FleetConfig {
+        workers: 4,
+        policy: LeasePolicy {
+            max_retries: 6,
+            lease_timeout: Duration::from_millis(2000),
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(16),
+            seed: 0xf1ee7,
+        },
+        chaos,
+        checkpoint_dir: None,
+        checkpoint_every: 4,
+        poll: Duration::from_millis(2),
+    };
+    let report = run_fleet(&plan, &grader, &cfg);
+    println!("act 2: chaos storm — {}", report.telemetry);
+    for (i, fate) in report.fates.iter().enumerate() {
+        match fate {
+            ShardFate::Completed { attempts, steals, resumed_faults } => {
+                if *attempts > 1 || *steals > 0 {
+                    println!(
+                        "  shard {i}: survived after {attempts} attempts \
+                         ({steals} steals, {resumed_faults} faults resumed)"
+                    );
+                }
+                assert_eq!(
+                    report.verdicts[i].as_deref(),
+                    Some(baseline[i].as_slice()),
+                    "shard {i} diverged from the serial baseline"
+                );
+            }
+            ShardFate::Quarantined { cause, attempts } => {
+                println!("  shard {i}: QUARANTINED after {attempts} attempts ({})", cause.as_str());
+            }
+        }
+    }
+    println!("=> every completed shard is bit-identical to the serial run\n");
+
+    // Act 3 — crash, checkpoint, resume.
+    let ckpt = std::env::temp_dir().join(format!("sbst-fleet-boot-{}", std::process::id()));
+    std::fs::create_dir_all(&ckpt).expect("checkpoint dir");
+    let mut chaos = WorkerChaos::off();
+    chaos
+        .forced
+        .push(ForcedFailure { shard: 4, attempt: 1, action: ChaosAction::Panic { after: 2 } });
+    let cfg = FleetConfig {
+        checkpoint_dir: Some(ckpt.clone()),
+        checkpoint_every: 1,
+        chaos,
+        policy: LeasePolicy {
+            lease_timeout: Duration::from_secs(30),
+            ..LeasePolicy::fast(7)
+        },
+        ..FleetConfig::new(2, 7)
+    };
+    let report = run_fleet(&plan, &grader, &cfg);
+    let t = &report.telemetry;
+    println!(
+        "act 3: worker killed 2 faults into shard 4 — retry restored {} graded faults \
+         from its checkpoint ({} resumes, {} retries)",
+        t.faults_restored, t.counters.resumes, t.counters.retries
+    );
+    assert!(report.is_complete(), "the resumed fleet must complete everything");
+    assert!(t.faults_restored >= 2, "the checkpoint must save re-grading work");
+    for (i, verdicts) in report.verdicts.iter().enumerate() {
+        assert_eq!(verdicts.as_deref(), Some(baseline[i].as_slice()));
+    }
+    let _ = std::fs::remove_dir_all(&ckpt);
+    println!("=> resumed verdicts bit-identical to the serial run");
+}
