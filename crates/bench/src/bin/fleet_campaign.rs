@@ -11,7 +11,7 @@
 //!   uninterrupted serial run;
 //! * the chaos plane actually fired (forced panics + one forced hang).
 //!
-//! Artifacts: `fleet_dashboard.jsonl` (one JSON object per lease
+//! Artifacts: `out/fleet_dashboard.jsonl` (one JSON object per lease
 //! event, then one telemetry line) and a `fleet` key merged into
 //! `BENCH_campaign.json` with throughput and recovery statistics.
 //!
@@ -140,6 +140,9 @@ fn assert_report(report: &FleetReport, baseline: &[Vec<Verdict>], label: &str) {
 }
 
 fn write_dashboard(report: &FleetReport, path: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create dashboard dir");
+    }
     let mut out = String::new();
     for e in &report.events {
         out.push_str(&format!(
@@ -247,7 +250,7 @@ fn main() {
     };
     print!("{}", hub.summary_table());
 
-    write_dashboard(&report, "fleet_dashboard.jsonl");
+    write_dashboard(&report, "out/fleet_dashboard.jsonl");
 
     // ── Phase 2: a calm timed fleet run for the throughput figure.
     let calm_cfg = FleetConfig {

@@ -39,7 +39,7 @@ fn smoke_mode_terminates_cleanly_with_valid_artifacts() {
     // Every dashboard line is a standalone JSON object (JSONL), and the
     // last line is the telemetry summary with the recovery counters.
     let dashboard =
-        std::fs::read_to_string(dir.join("fleet_dashboard.jsonl")).expect("dashboard written");
+        std::fs::read_to_string(dir.join("out/fleet_dashboard.jsonl")).expect("dashboard written");
     let lines: Vec<&str> = dashboard.lines().collect();
     assert!(lines.len() > 5, "dashboard suspiciously short: {} lines", lines.len());
     for (i, line) in lines.iter().enumerate() {

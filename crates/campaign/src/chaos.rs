@@ -105,6 +105,13 @@ pub struct ChaosCell {
     pub max_grant_wait: u64,
     /// Total cycles any master spent waiting for a grant.
     pub bus_wait_cycles: u64,
+    /// Analytical per-access worst-case grant latency certified for
+    /// this cell's platform (round-robin over the cell's port count).
+    pub certified_bound: u64,
+    /// Runs in which any port's observed worst wait exceeded its
+    /// certified bound — the sweep's hardest invariant: **0**, for
+    /// every cell, including full saturation.
+    pub bound_violations: u64,
 }
 
 /// The whole sweep's outcome.
@@ -144,6 +151,11 @@ pub struct ChaosTelemetry {
     pub max_grant_wait: u64,
     /// Total grant-wait cycles across all masters and runs.
     pub bus_wait_cycles: u64,
+    /// Certified per-access worst-case grant latency (cycles).
+    pub certified_bound: u64,
+    /// Runs whose observed wait exceeded the certified bound
+    /// (invariant: 0).
+    pub bound_violations: u64,
 }
 
 impl ChaosTelemetry {
@@ -163,6 +175,8 @@ impl ChaosTelemetry {
             ("injector_requests".into(), Json::int(self.injector_requests)),
             ("max_grant_wait".into(), Json::int(self.max_grant_wait)),
             ("bus_wait_cycles".into(), Json::int(self.bus_wait_cycles)),
+            ("certified_bound".into(), Json::int(self.certified_bound)),
+            ("bound_violations".into(), Json::int(self.bound_violations)),
         ])
     }
 }
@@ -191,8 +205,15 @@ impl ChaosReport {
             t.injector_requests += c.injector_requests;
             t.max_grant_wait = t.max_grant_wait.max(c.max_grant_wait);
             t.bus_wait_cycles += c.bus_wait_cycles;
+            t.certified_bound = t.certified_bound.max(c.certified_bound);
+            t.bound_violations += c.bound_violations;
         }
         t
+    }
+
+    /// Bound violations across the whole sweep — the invariant is 0.
+    pub fn bound_violations_total(&self) -> u64 {
+        self.cells.iter().map(|c| c.bound_violations).sum()
     }
 
     /// Quarantines in interference-only cells (SEU rate 0) — these are
@@ -215,24 +236,26 @@ impl std::fmt::Display for ChaosReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:>9} {:>8} {:>6} {:>6} {:>10} {:>11} {:>7} {:>7} {:>9} {:>10}",
+            "{:>9} {:>8} {:>6} {:>6} {:>10} {:>11} {:>7} {:>7} {:>9} {:>10} {:>7} {:>9}",
             "intensity", "seu_ppm", "clean", "recov", "quarantine", "silent",
-            "runs", "strikes", "inj_reqs", "max_wait"
+            "runs", "strikes", "inj_reqs", "max_wait", "bound", "violation"
         )?;
         for c in &self.cells {
             writeln!(
                 f,
-                "{:>9} {:>8} {:>6} {:>6} {:>10} {:>11} {:>7} {:>7} {:>9} {:>10}",
+                "{:>9} {:>8} {:>6} {:>6} {:>10} {:>11} {:>7} {:>7} {:>9} {:>10} {:>7} {:>9}",
                 c.intensity, c.seu_rate_ppm, c.clean, c.recovered, c.quarantined,
-                c.silent, c.runs, c.seu_landed, c.injector_requests, c.max_grant_wait
+                c.silent, c.runs, c.seu_landed, c.injector_requests, c.max_grant_wait,
+                c.certified_bound, c.bound_violations
             )?;
         }
         write!(
             f,
-            "totals: silent={} false_quarantines={} recovered={}",
+            "totals: silent={} false_quarantines={} recovered={} bound_violations={}",
             self.silent_total(),
             self.false_quarantines(),
-            self.recovered_total()
+            self.recovered_total(),
+            self.bound_violations_total()
         )
     }
 }
@@ -285,6 +308,8 @@ pub fn run_chaos_campaign(cfg: &ChaosSweepConfig) -> Result<ChaosReport, WrapErr
                 injector_requests: 0,
                 max_grant_wait: 0,
                 bus_wait_cycles: 0,
+                certified_bound: 0,
+                bound_violations: 0,
             };
             for trial in 0..cfg.trials {
                 let mut seeds =
@@ -315,6 +340,18 @@ pub fn run_chaos_campaign(cfg: &ChaosSweepConfig) -> Result<ChaosReport, WrapErr
                         .max_grant_wait
                         .max(bs.max_grant_wait.iter().copied().max().unwrap_or(0));
                     cell.bus_wait_cycles += bs.wait_cycles.iter().sum::<u64>();
+                    // Judge every port's observed worst wait against the
+                    // analytical bound of this platform (round-robin, so
+                    // every port is bounded).
+                    let bounds = soc.bus().bound_params();
+                    let mut violated = false;
+                    for (p, &observed) in bs.max_grant_wait.iter().enumerate() {
+                        let b = bounds.per_access_wcl(p);
+                        cell.certified_bound =
+                            cell.certified_bound.max(b.cycles().unwrap_or(0));
+                        violated |= !b.admits(observed);
+                    }
+                    cell.bound_violations += u64::from(violated);
                     RunReport {
                         outcome,
                         signature: soc.peek(env.result_addr + RESULT_SIG_OFF as u32),
@@ -358,6 +395,13 @@ mod tests {
         assert_eq!(report.cells.len(), 4);
         assert_eq!(report.silent_total(), 0, "{report}");
         assert_eq!(report.false_quarantines(), 0, "{report}");
+        assert_eq!(report.bound_violations_total(), 0, "{report}");
+        // Every cell carries the analytical certificate it was judged
+        // against (1 core + injector = 3 ports, round-robin).
+        for c in &report.cells {
+            assert!(c.certified_bound > 0, "{report}");
+            assert!(c.max_grant_wait <= c.certified_bound, "{report}");
+        }
         // Interference-only cells are not merely non-quarantined: every
         // trial is clean on the first try (the wrapper absorbs timing).
         for c in report.cells.iter().filter(|c| c.seu_rate_ppm == 0) {

@@ -1,0 +1,174 @@
+//! The runtime bound watchdog: observed interference vs certified
+//! bound.
+//!
+//! The analytical bounds of [`sbst_mem::BoundParams`] are statements
+//! about a *certified* platform configuration — port count, arbiter,
+//! slave timings. In the field the STL runs on whatever platform it
+//! finds; if the observed worst grant wait of a core's bus ports ever
+//! exceeds the bound certified for it, one of two things is true and
+//! both void the determinism argument:
+//!
+//! * the platform is not the certified one (wrong arbiter programmed,
+//!   extra bus master powered up, slower memory mounted), or
+//! * the bound derivation itself is wrong.
+//!
+//! Either way the routine's signature can no longer be trusted to be
+//! contention-independent, so the [`Supervisor`](crate::Supervisor)
+//! escalates a violation exactly like a trap: the core is retried and,
+//! when the violation persists, quarantined with
+//! [`QuarantineCause::BoundViolation`](crate::QuarantineCause).
+//!
+//! The watchdog therefore stores the **certified** arbiter kind, not
+//! the deployed one: bounds are recomputed from the live bus's port
+//! count and timings *under the certified policy*, so a platform that
+//! silently swapped round-robin for fixed-priority is caught the first
+//! time a starved port's wait crosses the round-robin bound.
+
+use sbst_mem::{ArbiterKind, BoundParams};
+use sbst_obs::PortBound;
+use sbst_soc::Soc;
+
+/// One detected violation: a port whose observed worst wait exceeded
+/// its certified bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundViolation {
+    /// The violating bus port.
+    pub port: usize,
+    /// Observed worst single-request wait, in cycles (grows even while
+    /// the request is still starved).
+    pub observed: u64,
+    /// The certified bound it exceeded.
+    pub bound: u64,
+}
+
+impl std::fmt::Display for BoundViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "port {} waited {} cycles, certified bound {}",
+            self.port, self.observed, self.bound
+        )
+    }
+}
+
+/// Compares each run's observed per-port `max_grant_wait` against the
+/// worst-case grant latency certified for this platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundWatchdog {
+    certified: ArbiterKind,
+}
+
+impl BoundWatchdog {
+    /// A watchdog holding the arbitration policy the platform was
+    /// certified under.
+    pub fn new(certified: ArbiterKind) -> BoundWatchdog {
+        BoundWatchdog { certified }
+    }
+
+    /// The certified arbitration policy.
+    pub fn certified(&self) -> ArbiterKind {
+        self.certified
+    }
+
+    /// The bound parameters of `soc`'s live bus under the *certified*
+    /// arbiter (port count and slave timings are read from the bus; the
+    /// policy is the certificate's).
+    pub fn params(&self, soc: &Soc) -> BoundParams {
+        BoundParams { arbiter: self.certified, ..soc.bus().bound_params() }
+    }
+
+    /// Checks one port. `None` when the observed worst wait respects
+    /// the certified bound (or the certified bound is
+    /// [`PortBound::Unbounded`], which certification must reject up
+    /// front — there is nothing for a runtime check to enforce).
+    pub fn check_port(&self, soc: &Soc, port: usize) -> Option<BoundViolation> {
+        let observed = *soc.bus().stats().max_grant_wait.get(port)?;
+        match self.params(soc).per_access_wcl(port) {
+            PortBound::Bounded(bound) if observed > bound => {
+                Some(BoundViolation { port, observed, bound })
+            }
+            _ => None,
+        }
+    }
+
+    /// Checks the two bus ports of the core in `slot` (fetch port
+    /// `2·slot`, data port `2·slot + 1`), returning the worst
+    /// violation.
+    pub fn check_core(&self, soc: &Soc, slot: usize) -> Option<BoundViolation> {
+        [2 * slot, 2 * slot + 1]
+            .into_iter()
+            .filter_map(|p| self.check_port(soc, p))
+            .max_by_key(|v| v.observed - v.bound)
+    }
+
+    /// Checks every port of `soc`'s bus.
+    pub fn check(&self, soc: &Soc) -> Vec<BoundViolation> {
+        (0..soc.bus().ports())
+            .filter_map(|p| self.check_port(soc, p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_cpu::{CoreConfig, CoreKind};
+    use sbst_isa::{Asm, Reg};
+    use sbst_mem::{InjectorProgram, SRAM_BASE};
+    use sbst_soc::{ChaosConfig, SocBuilder};
+
+    fn busy_loop_soc(arbiter: ArbiterKind, saturate: bool) -> Soc {
+        let mut a = Asm::new();
+        // Uncached pointer-chase through SRAM: every iteration is a bus
+        // access, so the core's data port stays contended.
+        a.li(Reg::R1, SRAM_BASE);
+        for _ in 0..64 {
+            a.lw(Reg::R2, Reg::R1, 0);
+        }
+        a.halt();
+        let program = a.assemble(0x100).expect("assembles");
+        let mut b = SocBuilder::new()
+            .load(&program)
+            .core(CoreConfig::uncached(CoreKind::A, 0, 0x100), 0)
+            .arbiter(arbiter);
+        if saturate {
+            b = b.chaos(ChaosConfig::interference(InjectorProgram::saturate(1)));
+        }
+        let mut soc = b.build();
+        soc.run(200_000);
+        soc
+    }
+
+    #[test]
+    fn matching_platform_never_violates() {
+        let wd = BoundWatchdog::new(ArbiterKind::RoundRobin);
+        let soc = busy_loop_soc(ArbiterKind::RoundRobin, true);
+        assert!(wd.check(&soc).is_empty(), "{:?}", wd.check(&soc));
+    }
+
+    #[test]
+    fn mismatched_arbiter_is_caught() {
+        // Certified round-robin, deployed fixed-priority with the
+        // injector (last port) on top: the core's ports starve past the
+        // round-robin bound and the watchdog fires.
+        let wd = BoundWatchdog::new(ArbiterKind::RoundRobin);
+        let soc = busy_loop_soc(ArbiterKind::FixedPriority { ascending: false }, true);
+        let violations = wd.check(&soc);
+        assert!(!violations.is_empty());
+        for v in &violations {
+            assert!(v.observed > v.bound, "{v}");
+            assert!(v.port < 2, "only the core's ports starve, got {v}");
+        }
+        assert!(wd.check_core(&soc, 0).is_some());
+    }
+
+    #[test]
+    fn certified_unbounded_ports_never_fire() {
+        // A fixed-priority *certificate* declares low-priority ports
+        // unbounded — the runtime check has nothing to enforce there
+        // (certification rejects such platforms before deployment).
+        let wd = BoundWatchdog::new(ArbiterKind::FixedPriority { ascending: false });
+        let soc = busy_loop_soc(ArbiterKind::FixedPriority { ascending: false }, true);
+        assert!(wd.check(&soc).is_empty());
+    }
+}

@@ -52,6 +52,7 @@
 //! # }
 //! ```
 
+pub mod bound;
 mod catalog;
 mod harness;
 pub mod healer;
@@ -63,6 +64,7 @@ pub mod supervisor;
 mod text_routine;
 mod wrap;
 
+pub use bound::{BoundViolation, BoundWatchdog};
 pub use catalog::{BootImage, BootReport, BootVerdict, CatalogEntry, GoldenDb, StlCatalog};
 pub use harness::{
     cycle_budget_for, derive_cycle_budget, finish, learn_golden_cached, run_chaotic,

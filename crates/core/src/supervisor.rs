@@ -34,8 +34,10 @@ use std::collections::BTreeMap;
 use sbst_cpu::CoreConfig;
 use sbst_fault::FaultPlane;
 use sbst_isa::{Asm, Csr, Reg};
-use sbst_soc::{RunOutcome, Soc, SocBuilder};
+use sbst_mem::ArbiterKind;
+use sbst_soc::{ChaosConfig, RunOutcome, Soc, SocBuilder};
 
+use crate::bound::BoundWatchdog;
 use crate::harness::derive_cycle_budget;
 use crate::routine::{RoutineEnv, RESULT_STATUS_OFF, STATUS_PASS};
 use crate::sched::{
@@ -60,6 +62,11 @@ pub enum QuarantineCause {
     WatchdogBite,
     /// The core took an unexpected trap into the supervisor's handler.
     UnexpectedTrap,
+    /// One of the core's bus ports waited longer than the certified
+    /// worst-case grant latency — the platform is not the certified one
+    /// (or the certificate is wrong), so the routine's determinism
+    /// argument is void regardless of what signature it produced.
+    BoundViolation,
 }
 
 impl QuarantineCause {
@@ -69,6 +76,7 @@ impl QuarantineCause {
             QuarantineCause::SignatureMismatch => "signature mismatch",
             QuarantineCause::WatchdogBite => "watchdog bite",
             QuarantineCause::UnexpectedTrap => "unexpected trap",
+            QuarantineCause::BoundViolation => "bound violation",
         }
     }
 }
@@ -176,6 +184,18 @@ pub struct SupervisorConfig {
     pub wrap: WrapConfig,
     /// Shared-SRAM coordination block.
     pub layout: SchedLayout,
+    /// Bus arbitration policy of every SoC the supervisor builds
+    /// (parallel phase and standalone retries alike).
+    pub arbiter: ArbiterKind,
+    /// Chaos plane attached to every supervised run — the hook the
+    /// robustness tests use to put adversarial traffic on the bus while
+    /// the STL executes.
+    pub chaos: Option<ChaosConfig>,
+    /// When set, every run's observed per-port worst grant wait is
+    /// checked against the bound certified by this watchdog *before*
+    /// the routine statuses are consulted; a violation escalates like a
+    /// trap, ending in [`QuarantineCause::BoundViolation`].
+    pub bound_watchdog: Option<BoundWatchdog>,
 }
 
 impl Default for SupervisorConfig {
@@ -186,6 +206,9 @@ impl Default for SupervisorConfig {
             base_budget: 0,
             wrap: WrapConfig::default(),
             layout: SchedLayout::default(),
+            arbiter: ArbiterKind::RoundRobin,
+            chaos: None,
+            bound_watchdog: None,
         }
     }
 }
@@ -380,8 +403,20 @@ impl Supervisor {
     }
 
     /// Classifies one core after a run: `Ok(())` when it finished with
-    /// every routine passing, else the failure cause.
-    fn classify(&self, soc: &Soc, core: usize) -> Result<(), QuarantineCause> {
+    /// every routine passing, else the failure cause. `slot` is the
+    /// core's position in the SoC just run (its bus ports are `2·slot`
+    /// and `2·slot + 1`), which differs from `core` once quarantines
+    /// shrink the active set.
+    fn classify(&self, soc: &Soc, core: usize, slot: usize) -> Result<(), QuarantineCause> {
+        // A violated interference bound voids the determinism argument
+        // for *everything* the core did this run — a hang or a bad
+        // signature under a violated bound is a platform problem, not a
+        // core problem, so the bound verdict comes first.
+        if let Some(wd) = &self.cfg.bound_watchdog {
+            if wd.check_core(soc, slot).is_some() {
+                return Err(QuarantineCause::BoundViolation);
+            }
+        }
         if soc.peek(self.trap_addr(core)) == TRAP_FLAG {
             return Err(QuarantineCause::UnexpectedTrap);
         }
@@ -437,7 +472,10 @@ impl Supervisor {
         budget: u64,
     ) -> Result<(Soc, RunOutcome), WrapError> {
         let kicker = active[0];
-        let mut builder = SocBuilder::new();
+        let mut builder = SocBuilder::new().arbiter(self.cfg.arbiter);
+        if let Some(chaos) = self.cfg.chaos {
+            builder = builder.chaos(chaos);
+        }
         let mut bases = Vec::new();
         for (slot, &core) in active.iter().enumerate() {
             let base = 0x1000 + 0x4_0000 * slot as u32;
@@ -472,10 +510,14 @@ impl Supervisor {
         let base = 0x1000;
         let asm = self.emit_program(core, 1, true, watchdog, base);
         let kind = self.cores[&core].stl.env.core_kind;
-        let mut soc = SocBuilder::new()
+        let mut builder = SocBuilder::new()
+            .arbiter(self.cfg.arbiter)
             .load(&asm.assemble(base)?)
-            .core(CoreConfig::cached(kind, 0, base), 0)
-            .build();
+            .core(CoreConfig::cached(kind, 0, base), 0);
+        if let Some(chaos) = self.cfg.chaos {
+            builder = builder.chaos(chaos);
+        }
+        let mut soc = builder.build();
         let plane = self.plane_for_run(core);
         soc.core_mut(0).set_plane(plane);
         let outcome = soc.run(budget);
@@ -540,7 +582,10 @@ impl Supervisor {
             let mut last_cycle = soc.cycle();
             let failing: Vec<(usize, QuarantineCause)> = active
                 .iter()
-                .filter_map(|&core| self.classify(&soc, core).err().map(|c| (core, c)))
+                .enumerate()
+                .filter_map(|(slot, &core)| {
+                    self.classify(&soc, core, slot).err().map(|c| (core, c))
+                })
                 .collect();
             if failing.is_empty() {
                 for &core in &active {
@@ -565,7 +610,7 @@ impl Supervisor {
                     let retry_wdg = watchdog.saturating_mul(1 << n.min(16) as u32);
                     let (soc, _) = self.run_standalone(core, retry_wdg, retry_budget)?;
                     last_cycle = soc.cycle();
-                    match self.classify(&soc, core) {
+                    match self.classify(&soc, core, 0) {
                         Ok(()) => {
                             recovered = true;
                             break;

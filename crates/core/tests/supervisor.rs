@@ -5,12 +5,14 @@
 
 use sbst_cpu::{unit_fault_list, CoreKind, HDCU_CTRL};
 use sbst_fault::{Element, FaultPlane, FaultSite, Polarity, Unit};
-use sbst_mem::SRAM_BASE;
+use sbst_mem::{ArbiterKind, InjectorProgram, SRAM_BASE};
+use sbst_soc::ChaosConfig;
 use sbst_stl::routines::{GenericAluTest, RegFileTest};
 use sbst_stl::sched::CoreStl;
 use sbst_stl::{
-    derive_cycle_budget, learn_golden_cached, run_standalone, wrap_cached, CoreVerdict,
-    QuarantineCause, RoutineEnv, Supervisor, SupervisorConfig, WrapConfig, STATUS_FAIL,
+    derive_cycle_budget, learn_golden_cached, run_standalone, wrap_cached, BoundWatchdog,
+    CoreVerdict, QuarantineCause, RoutineEnv, Supervisor, SupervisorConfig, WrapConfig,
+    STATUS_FAIL,
 };
 
 fn env_for(core: usize) -> RoutineEnv {
@@ -139,4 +141,67 @@ fn signature_mismatch_exhausts_retries_into_quarantine() {
         "{report}"
     );
     assert!(passed(report.verdict(1)), "{report}");
+}
+
+/// The bound-watchdog escalation path: the platform was certified for
+/// round-robin arbitration, but the deployed bus runs fixed-priority
+/// with the saturating traffic injector on the top-priority (last)
+/// port. The core's ports starve past the round-robin bound, the bound
+/// watchdog fires before any routine status is even consulted, and the
+/// core is quarantined with the BoundViolation cause — the platform
+/// voided the determinism argument, so no signature from it can be
+/// trusted.
+#[test]
+fn violated_bound_escalates_to_quarantine() {
+    let mut sup = Supervisor::new(SupervisorConfig {
+        // Retrying cannot help — the platform itself is wrong — so keep
+        // the test cheap with a single attempt and a tight budget.
+        max_retries: 0,
+        base_budget: 300_000,
+        watchdog_timeout: 250_000,
+        arbiter: ArbiterKind::FixedPriority { ascending: false },
+        chaos: Some(ChaosConfig::interference(InjectorProgram::saturate(7))),
+        bound_watchdog: Some(BoundWatchdog::new(ArbiterKind::RoundRobin)),
+        ..Default::default()
+    });
+    sup.add_core(0, CoreStl::new(vec![Box::new(RegFileTest::new())], env_for(0)));
+    let report = sup.run().expect("boot");
+    assert_eq!(
+        report.verdict(0),
+        Some(CoreVerdict::Quarantined { cause: QuarantineCause::BoundViolation }),
+        "{report}"
+    );
+    assert!(
+        sup.events()
+            .iter()
+            .any(|e| matches!(e.kind, sbst_obs::TraceKind::Quarantine { cause: "bound violation" })),
+        "quarantine trace event carries the bound-violation cause"
+    );
+}
+
+/// Same platform, but certified honestly: a fixed-priority certificate
+/// flags the core's ports unbounded, so the runtime watchdog has
+/// nothing to enforce and the failure surfaces as an ordinary watchdog
+/// bite (the core hung because it was starved) — certification must
+/// catch unbounded ports *before* deployment, not at runtime.
+#[test]
+fn honest_fixed_priority_certificate_reports_a_hang_not_a_violation() {
+    let mut sup = Supervisor::new(SupervisorConfig {
+        max_retries: 0,
+        base_budget: 300_000,
+        watchdog_timeout: 250_000,
+        arbiter: ArbiterKind::FixedPriority { ascending: false },
+        chaos: Some(ChaosConfig::interference(InjectorProgram::saturate(7))),
+        bound_watchdog: Some(BoundWatchdog::new(ArbiterKind::FixedPriority {
+            ascending: false,
+        })),
+        ..Default::default()
+    });
+    sup.add_core(0, CoreStl::new(vec![Box::new(RegFileTest::new())], env_for(0)));
+    let report = sup.run().expect("boot");
+    assert_eq!(
+        report.verdict(0),
+        Some(CoreVerdict::Quarantined { cause: QuarantineCause::WatchdogBite }),
+        "{report}"
+    );
 }

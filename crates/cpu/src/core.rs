@@ -65,6 +65,19 @@ impl CoreConfig {
     pub fn uncached(kind: CoreKind, id: usize, reset_pc: u32) -> CoreConfig {
         CoreConfig { icache: None, dcache: None, ..CoreConfig::cached(kind, id, reset_pc) }
     }
+
+    /// The certification variant: same capacities as [`cached`] but
+    /// direct-mapped (one way), removing replacement state from the
+    /// cache-locking argument.
+    ///
+    /// [`cached`]: CoreConfig::cached
+    pub fn cached_direct(kind: CoreKind, id: usize, reset_pc: u32) -> CoreConfig {
+        CoreConfig {
+            icache: Some(CacheConfig::icache_8k_direct()),
+            dcache: Some(CacheConfig::dcache_4k_direct()),
+            ..CoreConfig::cached(kind, id, reset_pc)
+        }
+    }
 }
 
 /// Entry sitting at EX input (issued, not yet executed).

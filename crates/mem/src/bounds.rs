@@ -1,0 +1,215 @@
+//! Analytical worst-case interference bounds.
+//!
+//! The chaos sweeps *observe* grant latency under adversarial traffic;
+//! this module *derives* it from first principles, per arbitration
+//! policy, so certification can assert `observed ≤ bound` instead of
+//! hoping the sweep sampled the worst case (the per-access-upper-bound
+//! construction of the related interference-analysis literature, applied
+//! to this simulator's exact timing model).
+//!
+//! ## The worst-case transaction, `t_max`
+//!
+//! The bus serves one transaction at a time and a transaction, once
+//! granted, runs to completion. Every bound therefore reduces to "how
+//! many foreign transactions can be in front of me, times how long one
+//! transaction can last". The longest possible transaction latency on
+//! this bus, straight from [`Bus::execute`](crate::Bus)'s latency
+//! table, is the maximum of:
+//!
+//! * a full-line Flash burst read that misses every row buffer:
+//!   `flash.access_cycles + (MAX_BURST − 1)` (later beats always hit
+//!   the row that the first beat just fetched, costing 1 cycle each);
+//! * a full-line SRAM burst read: `sram_latency + (MAX_BURST − 1)`;
+//! * an SRAM swap: `sram_latency + 1`;
+//! * an MMIO access: `2` cycles.
+//!
+//! With default timings (`access_cycles = 8`, `sram_latency = 4`,
+//! `MAX_BURST = 8`) that is **15 cycles**.
+//!
+//! ## Per-arbiter per-access worst-case grant latency
+//!
+//! Wait cycles are counted from the step *after* a request is filed
+//! until the step it is granted (the grant step itself is the first
+//! cycle of service, not a wait cycle).
+//!
+//! * **Round-robin** — a request waits for the in-flight transaction to
+//!   drain (at most `t_max − 1` remaining wait steps) and then, because
+//!   the rotation serves each other port at most once before coming
+//!   back around, for at most `N − 1` foreign transactions of `t_max`
+//!   cycles each: `WCL = N·t_max − 1`.
+//! * **TDMA** — a port is granted only in its own slot and only when
+//!   the slot's remainder fits a worst-case transaction, so foreign
+//!   work *never* spills into the port's slot. The worst case is
+//!   requesting just after the last grantable cycle of one's own slot:
+//!   the unusable slot tail (`t_max − 1` cycles) plus the `N − 1`
+//!   foreign slots: `WCL = (N−1)·slot + t_max − 1`. Note this is
+//!   independent of what other masters do — the composability property
+//!   that makes TDMA the textbook certification arbiter.
+//! * **Fixed-priority** — only the top-priority port has a bound (the
+//!   in-flight drain, `t_max − 1`); every other port can be starved
+//!   forever by saturating traffic above it and is flagged
+//!   [`PortBound::Unbounded`]. Certification refuses such ports rather
+//!   than inventing a number.
+//!
+//! ## Routine-level interference
+//!
+//! A routine that performs `k` bus accesses on one port inflates by at
+//! most `k × WCL` cycles relative to its solo run — the figure
+//! [`BoundParams::routine_bound`] reports and the certification report
+//! carries per scenario.
+
+use crate::arbiter::ArbiterKind;
+use crate::bus::MAX_BURST;
+use crate::flash::FlashTiming;
+use sbst_obs::PortBound;
+
+/// Everything the analytical bounds depend on: the bus's port count,
+/// arbitration policy, and slave timings. Obtained from a live bus via
+/// [`Bus::bound_params`](crate::Bus::bound_params) or built by hand to
+/// certify a configuration before constructing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundParams {
+    /// Bus master ports.
+    pub ports: usize,
+    /// Arbitration policy. A `Tdma { slot_cycles: 0 }` here means
+    /// "slot derived as `t_max`", mirroring bus construction.
+    pub arbiter: ArbiterKind,
+    /// Flash timing (worst transaction is a burst that misses the row
+    /// buffers).
+    pub flash: FlashTiming,
+    /// SRAM access latency in cycles.
+    pub sram_latency: u32,
+}
+
+impl BoundParams {
+    /// The longest possible single bus transaction, in cycles.
+    pub fn t_max(&self) -> u64 {
+        let burst_tail = MAX_BURST as u64 - 1;
+        let flash_burst = u64::from(self.flash.access_cycles) + burst_tail;
+        let sram_burst = u64::from(self.sram_latency) + burst_tail;
+        let sram_swap = u64::from(self.sram_latency) + 1;
+        let mmio = 2;
+        flash_burst.max(sram_burst).max(sram_swap).max(mmio)
+    }
+
+    /// The TDMA slot length this configuration resolves to (explicit
+    /// slot, or `t_max` when derived). `None` for non-TDMA arbiters.
+    pub fn tdma_slot(&self) -> Option<u64> {
+        match self.arbiter {
+            ArbiterKind::Tdma { slot_cycles: 0 } => Some(self.t_max()),
+            ArbiterKind::Tdma { slot_cycles } => Some(u64::from(slot_cycles)),
+            _ => None,
+        }
+    }
+
+    /// The certified worst-case grant latency of a single request on
+    /// `port`, in wait cycles.
+    pub fn per_access_wcl(&self, port: usize) -> PortBound {
+        let n = self.ports as u64;
+        let t_max = self.t_max();
+        match self.arbiter {
+            ArbiterKind::RoundRobin => PortBound::Bounded(n * t_max - 1),
+            ArbiterKind::Tdma { .. } => {
+                let slot = self.tdma_slot().expect("tdma");
+                PortBound::Bounded((n - 1) * slot + t_max - 1)
+            }
+            ArbiterKind::FixedPriority { ascending } => {
+                let top = if ascending { 0 } else { self.ports - 1 };
+                if port == top {
+                    PortBound::Bounded(t_max - 1)
+                } else {
+                    PortBound::Unbounded
+                }
+            }
+        }
+    }
+
+    /// Per-access bounds for every port, port 0 first.
+    pub fn all(&self) -> Vec<PortBound> {
+        (0..self.ports).map(|p| self.per_access_wcl(p)).collect()
+    }
+
+    /// Worst-case interference a routine performing `accesses` bus
+    /// transactions on `port` can accumulate, in cycles, relative to
+    /// its solo run.
+    pub fn routine_bound(&self, port: usize, accesses: u64) -> PortBound {
+        match self.per_access_wcl(port) {
+            PortBound::Bounded(wcl) => PortBound::Bounded(wcl * accesses),
+            PortBound::Unbounded => PortBound::Unbounded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(arbiter: ArbiterKind) -> BoundParams {
+        BoundParams {
+            ports: 3,
+            arbiter,
+            flash: FlashTiming::default(),
+            sram_latency: 4,
+        }
+    }
+
+    #[test]
+    fn default_t_max_is_the_flash_burst() {
+        // 8-cycle miss + 7 burst beats.
+        assert_eq!(params(ArbiterKind::RoundRobin).t_max(), 15);
+    }
+
+    #[test]
+    fn slow_sram_can_dominate_t_max() {
+        let mut p = params(ArbiterKind::RoundRobin);
+        p.sram_latency = 20;
+        assert_eq!(p.t_max(), 27);
+    }
+
+    #[test]
+    fn round_robin_bound_is_one_rotation() {
+        let p = params(ArbiterKind::RoundRobin);
+        for port in 0..3 {
+            assert_eq!(p.per_access_wcl(port), PortBound::Bounded(3 * 15 - 1));
+        }
+    }
+
+    #[test]
+    fn tdma_bound_is_slot_table_distance() {
+        let p = params(ArbiterKind::tdma());
+        assert_eq!(p.tdma_slot(), Some(15));
+        for port in 0..3 {
+            // 2 foreign slots + unusable own-slot tail.
+            assert_eq!(p.per_access_wcl(port), PortBound::Bounded(2 * 15 + 14));
+        }
+        let wide = params(ArbiterKind::Tdma { slot_cycles: 40 });
+        assert_eq!(wide.per_access_wcl(0), PortBound::Bounded(2 * 40 + 14));
+    }
+
+    #[test]
+    fn fixed_priority_bounds_only_the_top_port() {
+        let asc = params(ArbiterKind::fixed_priority());
+        assert_eq!(asc.per_access_wcl(0), PortBound::Bounded(14));
+        assert_eq!(asc.per_access_wcl(1), PortBound::Unbounded);
+        assert_eq!(asc.per_access_wcl(2), PortBound::Unbounded);
+        let desc = params(ArbiterKind::FixedPriority { ascending: false });
+        assert_eq!(desc.per_access_wcl(2), PortBound::Bounded(14));
+        assert_eq!(desc.per_access_wcl(0), PortBound::Unbounded);
+    }
+
+    #[test]
+    fn routine_bound_scales_linearly() {
+        let p = params(ArbiterKind::RoundRobin);
+        assert_eq!(p.routine_bound(0, 100), PortBound::Bounded(100 * 44));
+        let fp = params(ArbiterKind::fixed_priority());
+        assert_eq!(fp.routine_bound(1, 100), PortBound::Unbounded);
+    }
+
+    #[test]
+    fn all_covers_every_port() {
+        let bounds = params(ArbiterKind::fixed_priority()).all();
+        assert_eq!(bounds.len(), 3);
+        assert_eq!(bounds[0], PortBound::Bounded(14));
+        assert!(bounds[1..].iter().all(|b| *b == PortBound::Unbounded));
+    }
+}

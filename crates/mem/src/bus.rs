@@ -1,11 +1,16 @@
-//! The shared system bus and its round-robin arbiter.
+//! The shared system bus and its pluggable arbiter.
 //!
 //! One transaction occupies the bus at a time; every in-flight request
 //! from another port waits. This serialization is the physical source of
 //! the paper's multi-core nondeterminism: instruction fetches are delayed
 //! by the other cores' traffic, so the exact stream of instructions
-//! entering each pipeline depends on global interleaving.
+//! entering each pipeline depends on global interleaving. *Which* ports
+//! delay which is the arbitration policy — see [`Arbiter`](crate::Arbiter)
+//! — and the analytical interference bounds in [`bounds`](crate::bounds)
+//! are derived per policy from this bus's timing parameters.
 
+use crate::arbiter::{Arbiter, ArbiterKind};
+use crate::bounds::BoundParams;
 use crate::flash::FlashCtl;
 use crate::map::{Region, MMIO_BASE};
 use crate::sram::Sram;
@@ -96,12 +101,14 @@ pub struct BusStats {
 }
 
 impl BusStats {
-    /// Mean grant latency of `port` in cycles (0 when never granted).
+    /// Mean grant latency of `port` in cycles (0 when never granted, or
+    /// when `port` is out of range — report code iterates heterogeneous
+    /// port counts across scenario axes and must not panic on the
+    /// narrower configurations).
     pub fn mean_grant_wait(&self, port: usize) -> f64 {
-        if self.grants[port] == 0 {
-            0.0
-        } else {
-            self.wait_cycles[port] as f64 / self.grants[port] as f64
+        match self.grants.get(port) {
+            None | Some(0) => 0.0,
+            Some(&g) => self.wait_cycles[port] as f64 / g as f64,
         }
     }
 }
@@ -113,8 +120,9 @@ struct Active {
     resp: BusResponse,
 }
 
-/// The shared system bus: Flash + SRAM slaves, N master ports,
-/// round-robin arbitration, one transaction in flight.
+/// The shared system bus: Flash + SRAM slaves, N master ports, a
+/// pluggable arbiter (round-robin by default), one transaction in
+/// flight.
 ///
 /// Protocol, from a master's point of view:
 /// 1. [`request`](Bus::request) — present a request on your port
@@ -129,7 +137,9 @@ pub struct Bus {
     pending: Vec<Option<BusRequest>>,
     responses: Vec<Option<BusResponse>>,
     active: Option<Active>,
-    rr: usize,
+    arbiter: Box<dyn Arbiter>,
+    /// Bus-local cycle counter (drives the TDMA slot table).
+    cycle: u64,
     stats: BusStats,
     /// Cycles each port's *current* pending request has waited so far.
     cur_wait: Vec<u64>,
@@ -139,8 +149,33 @@ pub struct Bus {
 }
 
 impl Bus {
-    /// Creates a bus with `ports` master ports.
+    /// Creates a bus with `ports` master ports and the default
+    /// round-robin arbiter (bit-identical to the seed behaviour).
     pub fn new(flash: FlashCtl, sram: Sram, ports: usize) -> Bus {
+        Bus::with_arbiter(flash, sram, ports, ArbiterKind::RoundRobin)
+    }
+
+    /// Creates a bus with `ports` master ports and an explicit
+    /// arbitration policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a TDMA arbiter whose explicit slot is shorter than
+    /// this bus's worst-case transaction latency (see
+    /// [`BoundParams::t_max`]).
+    pub fn with_arbiter(
+        flash: FlashCtl,
+        sram: Sram,
+        ports: usize,
+        kind: ArbiterKind,
+    ) -> Bus {
+        let t_max = BoundParams {
+            ports,
+            arbiter: kind,
+            flash: flash.timing(),
+            sram_latency: sram.access_cycles(),
+        }
+        .t_max();
         Bus {
             flash,
             sram,
@@ -148,7 +183,8 @@ impl Bus {
             pending: vec![None; ports],
             responses: vec![None; ports],
             active: None,
-            rr: 0,
+            arbiter: kind.build(ports, t_max),
+            cycle: 0,
             stats: BusStats {
                 wait_cycles: vec![0; ports],
                 grants: vec![0; ports],
@@ -157,6 +193,24 @@ impl Bus {
             },
             cur_wait: vec![0; ports],
             obs: None,
+        }
+    }
+
+    /// The arbitration policy this bus was built with (after TDMA slot
+    /// derivation, so `Tdma { slot_cycles }` carries the real slot).
+    pub fn arbiter_kind(&self) -> ArbiterKind {
+        self.arbiter.kind()
+    }
+
+    /// The parameters the analytical interference bounds are computed
+    /// from: this bus's port count, arbitration policy and slave
+    /// timings.
+    pub fn bound_params(&self) -> BoundParams {
+        BoundParams {
+            ports: self.ports(),
+            arbiter: self.arbiter.kind(),
+            flash: self.flash.timing(),
+            sram_latency: self.sram.access_cycles(),
         }
     }
 
@@ -217,23 +271,19 @@ impl Bus {
         // access, so an uncontended single-word SRAM read completes in
         // exactly `access_cycles` steps.
         if self.active.is_none() {
-            let n = self.ports();
-            for i in 0..n {
-                let port = (self.rr + 1 + i) % n;
-                if let Some(req) = self.pending[port].take() {
-                    self.rr = port;
-                    self.stats.grants[port] += 1;
-                    self.stats.max_grant_wait[port] =
-                        self.stats.max_grant_wait[port].max(self.cur_wait[port]);
-                    if let Some(obs) = &mut self.obs {
-                        let write = matches!(req.kind, ReqKind::Write(_) | ReqKind::Swap(_));
-                        obs.on_grant(port, self.cur_wait[port], req.addr, write);
-                    }
-                    self.cur_wait[port] = 0;
-                    let (latency, resp) = self.execute(req);
-                    self.active = Some(Active { port, remaining: latency.max(1), resp });
-                    break;
+            let mask: Vec<bool> = self.pending.iter().map(Option::is_some).collect();
+            if let Some(port) = self.arbiter.grant(&mask, self.cycle) {
+                let req = self.pending[port].take().expect("arbiter granted an idle port");
+                self.stats.grants[port] += 1;
+                self.stats.max_grant_wait[port] =
+                    self.stats.max_grant_wait[port].max(self.cur_wait[port]);
+                if let Some(obs) = &mut self.obs {
+                    let write = matches!(req.kind, ReqKind::Write(_) | ReqKind::Swap(_));
+                    obs.on_grant(port, self.cur_wait[port], req.addr, write);
                 }
+                self.cur_wait[port] = 0;
+                let (latency, resp) = self.execute(req);
+                self.active = Some(Active { port, remaining: latency.max(1), resp });
             }
         }
         // Progress the active transaction.
@@ -246,16 +296,23 @@ impl Bus {
                 self.stats.transactions += 1;
             }
         }
-        // Requests still pending after arbitration are waiting for grant.
+        // Requests still pending after arbitration are waiting for
+        // grant. `max_grant_wait` is folded in *continuously*, not only
+        // at grant time, so a starved port (fixed-priority under a
+        // saturating higher-priority master) reports its ever-growing
+        // wait instead of 0 — the bound watchdog feeds on this figure.
         for (p, r) in self.pending.iter().enumerate() {
             if r.is_some() {
                 self.stats.wait_cycles[p] += 1;
                 self.cur_wait[p] += 1;
+                self.stats.max_grant_wait[p] =
+                    self.stats.max_grant_wait[p].max(self.cur_wait[p]);
             }
         }
         if let Some(obs) = &mut self.obs {
             obs.tick();
         }
+        self.cycle += 1;
     }
 
     /// Flips `bit` of one data word of the transaction currently in
@@ -543,6 +600,49 @@ mod tests {
         b.request(0, BusRequest::read(0xf000_0000));
         let (_, r) = run_to_response(&mut b, 0, 10);
         assert_eq!(r.word(), 0);
+    }
+
+    /// The arbiter-specificity regression: a saturating master on the
+    /// top fixed-priority port starves the low-priority port past the
+    /// bound certified for round-robin — proof that the bound is a
+    /// property of the policy, not of the bus, and that a starved
+    /// port's growing wait is visible in `max_grant_wait` even though
+    /// it is never granted.
+    #[test]
+    fn fixed_priority_starvation_exceeds_the_round_robin_bound() {
+        let mut img = FlashImage::new();
+        let mut a = Asm::new();
+        for i in 0..16 {
+            a.addi(Reg::R1, Reg::R0, i);
+        }
+        img.load(&a.assemble(0x100).unwrap());
+        let mut b = Bus::with_arbiter(
+            FlashCtl::new(img.freeze(), FlashTiming::default()),
+            Sram::default(),
+            2,
+            ArbiterKind::FixedPriority { ascending: false },
+        );
+        let rr_bound = BoundParams { arbiter: ArbiterKind::RoundRobin, ..b.bound_params() }
+            .per_access_wcl(0)
+            .cycles()
+            .expect("round-robin is bounded");
+        b.request(0, BusRequest::read(0x100));
+        for _ in 0..500 {
+            // Port 1 (top priority) re-files the instant it is free.
+            if !b.port_busy(1) {
+                let _ = b.response(1);
+                b.request(1, BusRequest::read(0x140));
+            }
+            b.step();
+        }
+        assert_eq!(b.stats().grants[0], 0, "low-priority port never granted");
+        assert!(
+            b.stats().max_grant_wait[0] > rr_bound,
+            "starved wait {} must exceed the round-robin bound {rr_bound}",
+            b.stats().max_grant_wait[0]
+        );
+        // The honest certificate for this platform flags the port.
+        assert_eq!(b.bound_params().per_access_wcl(0), sbst_obs::PortBound::Unbounded);
     }
 
     #[test]

@@ -50,6 +50,21 @@ impl CacheConfig {
         }
     }
 
+    /// A direct-mapped 8 KiB instruction cache — the certification
+    /// variant: one way removes replacement state, so the cached/locked
+    /// working-set argument needs no LRU reasoning at all (the
+    /// configuration the per-access interference-bound literature
+    /// assumes).
+    pub fn icache_8k_direct() -> CacheConfig {
+        CacheConfig { ways: 1, ..CacheConfig::icache_8k() }
+    }
+
+    /// A direct-mapped 4 KiB data cache (see
+    /// [`icache_8k_direct`](CacheConfig::icache_8k_direct)).
+    pub fn dcache_4k_direct() -> CacheConfig {
+        CacheConfig { ways: 1, ..CacheConfig::dcache_4k() }
+    }
+
     /// Words per line.
     pub fn line_words(self) -> u32 {
         self.line_bytes / 4

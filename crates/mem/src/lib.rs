@@ -47,6 +47,8 @@
 //! assert!(icache.read(0x100).is_some());
 //! ```
 
+mod arbiter;
+mod bounds;
 mod bus;
 mod cache;
 mod flash;
@@ -58,6 +60,8 @@ mod sram;
 mod tcm;
 mod watchdog;
 
+pub use arbiter::{Arbiter, ArbiterKind, FixedPriority, RoundRobin, Tdma};
+pub use bounds::BoundParams;
 pub use bus::{Bus, BusRequest, BusResponse, BusStats, ReqKind, MAX_BURST};
 pub use cache::{Cache, CacheConfig, CacheStats, WritePolicy};
 pub use flash::{FlashCtl, FlashImage, FlashTiming, ERASED};

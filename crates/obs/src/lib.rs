@@ -36,7 +36,7 @@ pub use hist::Histogram;
 pub use json::{parse_json, Json, JsonError};
 pub use metrics::{
     BusMetrics, BusObs, CacheCounters, CoreCounters, CoreMetrics, CoreSample, FleetCounters,
-    MetricsHub, PortMetrics,
+    MetricsHub, PortBound, PortMetrics,
 };
 pub use ring::EventRing;
 pub use telemetry::{CampaignTelemetry, FleetTelemetry, ProgressSnapshot, VerdictMix};

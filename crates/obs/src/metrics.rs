@@ -112,6 +112,50 @@ pub struct CoreMetrics {
     pub dcache: Option<CacheCounters>,
 }
 
+/// The certified worst-case grant latency of one bus port — the
+/// analytical prediction an observed `max_grant_wait` is judged
+/// against. Computed by the memory layer's `bounds` module (this crate
+/// only carries the value so it can ride through metrics and reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortBound {
+    /// Any single request is granted within this many wait cycles.
+    Bounded(u64),
+    /// No finite bound exists: the arbitration policy lets other
+    /// masters starve this port indefinitely. Certification must flag
+    /// this — running an STL on such a port voids the determinism
+    /// argument by construction.
+    Unbounded,
+}
+
+impl PortBound {
+    /// Whether `observed` wait cycles respect this bound. An unbounded
+    /// port is never violated — there is nothing to violate, which is
+    /// exactly why certification rejects unbounded ports up front.
+    pub fn admits(&self, observed: u64) -> bool {
+        match self {
+            PortBound::Bounded(b) => observed <= *b,
+            PortBound::Unbounded => true,
+        }
+    }
+
+    /// The finite bound, if one exists.
+    pub fn cycles(&self) -> Option<u64> {
+        match self {
+            PortBound::Bounded(b) => Some(*b),
+            PortBound::Unbounded => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PortBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortBound::Bounded(b) => write!(f, "{b}"),
+            PortBound::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
 /// Final metrics of one bus master port.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PortMetrics {
@@ -121,8 +165,12 @@ pub struct PortMetrics {
     pub grants: u64,
     /// Total cycles requests on this port spent waiting.
     pub wait_cycles: u64,
-    /// Longest wait of any single request.
+    /// Longest wait of any single request (including a still-pending
+    /// one, so a starved port reports its growing wait).
     pub max_grant_wait: u64,
+    /// Certified worst-case grant latency, when the platform computed
+    /// one for this port.
+    pub bound: Option<PortBound>,
     /// Distribution of per-grant wait times.
     pub wait_hist: Histogram,
 }
@@ -300,18 +348,28 @@ impl MetricsHub {
             self.bus.transactions, self.bus.busy_cycles
         ));
         out.push_str(&format!(
-            "{:<6} {:>9} {:>9} {:>11} {:>9} {:>9}\n",
-            "port", "requests", "grants", "wait-cycles", "max-wait", "mean-wait",
+            "{:<6} {:>9} {:>9} {:>11} {:>9} {:>9} {:>10}\n",
+            "port", "requests", "grants", "wait-cycles", "max-wait", "mean-wait", "bound",
         ));
         for (p, port) in self.bus.ports.iter().enumerate() {
+            let bound = match port.bound {
+                None => "-".to_string(),
+                Some(b) => b.to_string(),
+            };
+            let verdict = match port.bound {
+                Some(b) if !b.admits(port.max_grant_wait) => " VIOLATED",
+                _ => "",
+            };
             out.push_str(&format!(
-                "{:<6} {:>9} {:>9} {:>11} {:>9} {:>9.2}\n",
+                "{:<6} {:>9} {:>9} {:>11} {:>9} {:>9.2} {:>10}{}\n",
                 format!("port{p}"),
                 port.requests,
                 port.grants,
                 port.wait_cycles,
                 port.max_grant_wait,
                 port.wait_hist.mean(),
+                bound,
+                verdict,
             ));
         }
         out.push_str(&format!(
@@ -457,6 +515,7 @@ mod tests {
                         grants: 1,
                         wait_cycles: 3,
                         max_grant_wait: 3,
+                        bound: Some(PortBound::Bounded(44)),
                         wait_hist: hist_iter.next().expect("port 0"),
                     },
                     PortMetrics { wait_hist: hist_iter.next().expect("port 1"), ..PortMetrics::default() },

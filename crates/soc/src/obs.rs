@@ -119,12 +119,14 @@ pub(crate) fn collect(soc: &Soc, obs: &SocObs, bus_obs: &BusObs) -> MetricsHub {
         })
         .collect();
     let stats = soc.bus().stats();
+    let bounds = soc.bus().bound_params();
     let ports = (0..soc.bus().ports())
         .map(|p| PortMetrics {
             requests: bus_obs.requests()[p],
             grants: stats.grants[p],
             wait_cycles: stats.wait_cycles[p],
             max_grant_wait: stats.max_grant_wait[p],
+            bound: Some(bounds.per_access_wcl(p)),
             wait_hist: bus_obs.wait_hist(p).clone(),
         })
         .collect();

@@ -5,8 +5,8 @@ use std::sync::Arc;
 use sbst_cpu::{Core, CoreConfig};
 use sbst_isa::Program;
 use sbst_mem::{
-    Bus, FlashCtl, FlashImage, FlashTiming, InjectorStats, SeuEvent, SeuScheduler, SeuTarget,
-    Sram, TrafficInjector,
+    ArbiterKind, Bus, FlashCtl, FlashImage, FlashTiming, InjectorStats, SeuEvent, SeuScheduler,
+    SeuTarget, Sram, TrafficInjector,
 };
 
 use sbst_obs::{BusObs, MetricsHub};
@@ -68,7 +68,7 @@ impl RunOutcome {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SocBuilder {
     flash: FlashImage,
     timing: FlashTiming,
@@ -76,10 +76,26 @@ pub struct SocBuilder {
     cores: Vec<(CoreConfig, u32)>,
     chaos: Option<ChaosConfig>,
     obs: Option<ObsConfig>,
+    arbiter: ArbiterKind,
+}
+
+impl Default for SocBuilder {
+    fn default() -> SocBuilder {
+        SocBuilder {
+            flash: FlashImage::default(),
+            timing: FlashTiming::default(),
+            sram_latency: 0,
+            cores: Vec::new(),
+            chaos: None,
+            obs: None,
+            arbiter: ArbiterKind::RoundRobin,
+        }
+    }
 }
 
 impl SocBuilder {
-    /// Starts an empty SoC description (default Flash/SRAM timing).
+    /// Starts an empty SoC description (default Flash/SRAM timing,
+    /// round-robin arbitration).
     pub fn new() -> SocBuilder {
         SocBuilder { sram_latency: 4, ..SocBuilder::default() }
     }
@@ -115,6 +131,14 @@ impl SocBuilder {
         self
     }
 
+    /// Selects the bus arbitration policy (round-robin when not called).
+    /// The analytical interference bounds of
+    /// [`sbst_mem::BoundParams`] are derived from this choice.
+    pub fn arbiter(mut self, kind: ArbiterKind) -> SocBuilder {
+        self.arbiter = kind;
+        self
+    }
+
     /// Attaches the observability layer: per-core trace events, bus
     /// grant-latency histograms and a [`MetricsHub`] at the end of the
     /// run (see [`Soc::metrics`]). Observation is strictly read-only —
@@ -137,10 +161,11 @@ impl SocBuilder {
         // The injector gets its own bus port after the cores' ports, so
         // core-port numbering (2i, 2i+1) is unchanged by chaos.
         let ports = 2 * self.cores.len() + usize::from(self.chaos.is_some());
-        let bus = Bus::new(
+        let bus = Bus::with_arbiter(
             FlashCtl::new(image, self.timing),
             Sram::new(self.sram_latency),
             ports,
+            self.arbiter,
         );
         let cores = self
             .cores

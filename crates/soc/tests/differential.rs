@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use sbst_cpu::{CoreConfig, CoreKind, RefCpu, RefStop};
 use sbst_isa::{AluOp, Asm, Reg};
-use sbst_mem::{InjectorProgram, SRAM_BASE};
+use sbst_mem::{ArbiterKind, InjectorProgram, SRAM_BASE};
 use sbst_soc::{ChaosConfig, SocBuilder};
 
 const BASE: u32 = 0x400;
@@ -103,10 +103,11 @@ proptest! {
 
     /// The per-core differential sweep: every random cause-free program
     /// runs on **all three** pipelined cores (the seed suite only ever
-    /// sampled A and C), both solo and against an adversarial bus
-    /// injector, and must always leave the architectural state the
-    /// single-cycle reference computes. 64 cases × 3 cores × 2 bus
-    /// regimes ≥ the issue's 64-cases-per-core floor.
+    /// sampled A and C), solo and against an adversarial bus injector —
+    /// the contended leg on the default round-robin bus, on a TDMA bus,
+    /// and with direct-mapped caches — and must always leave the
+    /// architectural state the single-cycle reference computes. 64 cases
+    /// × 3 cores × 4 platforms ≥ the issue's 64-cases-per-core floor.
     #[test]
     fn every_core_matches_reference_solo_and_contended(
         chunks in prop::collection::vec(arb_chunk(), 1..6),
@@ -124,34 +125,43 @@ proptest! {
             } else {
                 CoreConfig::uncached(kind, 0, BASE)
             };
-            let contention = [
-                None,
-                Some(ChaosConfig::interference(InjectorProgram::from_seed(inj_seed))),
+            let chaos = ChaosConfig::interference(InjectorProgram::from_seed(inj_seed));
+            let platforms = [
+                ("solo", cfg, ArbiterKind::RoundRobin, None),
+                ("contended-rr", cfg, ArbiterKind::RoundRobin, Some(chaos)),
+                ("contended-tdma", cfg, ArbiterKind::tdma(), Some(chaos)),
+                (
+                    "contended-direct",
+                    CoreConfig::cached_direct(kind, 0, BASE),
+                    ArbiterKind::RoundRobin,
+                    Some(chaos),
+                ),
             ];
-            for chaos in contention {
-                let mut builder = SocBuilder::new().load(&program).core(cfg, 0);
+            for (label, cfg, arbiter, chaos) in platforms {
+                let mut builder =
+                    SocBuilder::new().load(&program).core(cfg, 0).arbiter(arbiter);
                 if let Some(chaos) = chaos {
                     builder = builder.chaos(chaos);
                 }
                 let mut soc = builder.build();
                 prop_assert!(
                     soc.run(50_000_000).is_clean(),
-                    "core {:?} did not halt (cached={}, contended={})",
-                    kind, cached, chaos.is_some()
+                    "core {:?} did not halt (cached={}, platform={})",
+                    kind, cached, label
                 );
                 for r in Reg::ALL {
                     prop_assert_eq!(
                         soc.core(0).reg(r), reference.reg(r),
-                        "core {:?}: register {} differs (cached={}, contended={})",
-                        kind, r, cached, chaos.is_some()
+                        "core {:?}: register {} differs (cached={}, platform={})",
+                        kind, r, cached, label
                     );
                 }
                 for off in (0..64u32).step_by(4) {
                     let addr = scratch + off;
                     prop_assert_eq!(
                         soc.peek(addr), reference.mem_word(addr),
-                        "core {:?}: memory {:#x} differs (cached={}, contended={})",
-                        kind, addr, cached, chaos.is_some()
+                        "core {:?}: memory {:#x} differs (cached={}, platform={})",
+                        kind, addr, cached, label
                     );
                 }
             }
