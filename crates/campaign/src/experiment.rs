@@ -123,6 +123,13 @@ impl Snapshot {
     pub fn budget(&self) -> u64 {
         self.budget
     }
+
+    /// The captured SoC state itself (read-only). Custom grading engines
+    /// clone it to start a tail simulation; with the copy-on-write
+    /// backing stores in `sbst-mem` that clone is cheap.
+    pub fn soc(&self) -> &Soc {
+        &self.soc
+    }
 }
 
 /// A fully configured experiment, cheap to re-run with different armed
@@ -358,9 +365,14 @@ impl Experiment {
         self.observe(&soc, outcome)
     }
 
+    /// The core under test's result-mailbox bases (one per split part).
+    pub(crate) fn mailboxes(&self) -> &[u32] {
+        &self.cut_mailboxes
+    }
+
     /// Reads the core under test's mailboxes and counters off a stopped
     /// SoC.
-    fn observe(&self, soc: &Soc, outcome: RunOutcome) -> Observation {
+    pub(crate) fn observe(&self, soc: &Soc, outcome: RunOutcome) -> Observation {
         let c = soc.core(0).counters();
         let mut signature = 0u32;
         let mut status = STATUS_DONE;

@@ -43,6 +43,7 @@ mod experiment;
 pub mod fleet;
 pub mod split;
 mod faultsim;
+mod ppsfp;
 pub mod tables;
 mod telemetry;
 
@@ -58,6 +59,9 @@ pub use faultsim::{
     run_campaign, run_campaign_collapsed, run_campaign_detailed, run_campaign_graded,
     run_campaign_warm, run_campaign_warm_detailed, summarize_by_category, CampaignError,
     CampaignResult, ExperimentGrader, FaultGrader, WarmExperimentGrader,
+};
+pub use ppsfp::{
+    run_campaign_ppsfp, run_campaign_ppsfp_detailed, run_campaign_ppsfp_telemetry, PpsfpStats,
 };
 pub use telemetry::{
     run_campaign_graded_telemetry, run_campaign_telemetry, run_campaign_warm_telemetry,

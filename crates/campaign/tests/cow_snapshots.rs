@@ -1,0 +1,166 @@
+//! Correctness gates for the copy-on-write SoC snapshot layer the
+//! warm-start and PPSFP campaign paths are built on: a snapshot must be
+//! a true immutable baseline (clones never write through to it, chains
+//! of clones stay independent), and a COW clone must be behaviorally
+//! indistinguishable from the deep copy it replaced.
+
+use sbst_campaign::{routines_for, ExecStyle, Experiment};
+use sbst_cpu::{unit_fault_list, CoreKind};
+use sbst_fault::{FaultPlane, Unit};
+use sbst_soc::{Scenario, Soc};
+use sbst_stl::RESULT_SIG_OFF;
+
+fn forwarding_exp() -> Experiment {
+    let factory = routines_for(Unit::Forwarding);
+    Experiment::assemble(
+        &*factory,
+        CoreKind::A,
+        ExecStyle::CacheWrapped,
+        &Scenario { active_cores: 3, ..Scenario::single_core() },
+    )
+    .expect("experiment assembles")
+}
+
+/// Runs `soc` until the core under test halts (or `budget`), returning
+/// the halt cycle and the mailbox signature word.
+fn run_to_cut_halt(soc: &mut Soc, budget: u64, mailbox: u32) -> (u64, u32) {
+    while soc.cycle() < budget && !soc.core(0).halted() {
+        soc.step();
+    }
+    (soc.cycle(), soc.peek(mailbox + RESULT_SIG_OFF as u32))
+}
+
+/// The result mailbox of the core under test in campaign runs.
+fn cut_mailbox() -> u32 {
+    sbst_mem::SRAM_BASE + 0x40
+}
+
+/// Mutating a clone — by direct pokes and by running it to completion —
+/// must leave the snapshot it was cloned from bit-identical: a later
+/// clone of the same snapshot reproduces the exact same run.
+#[test]
+fn mutation_after_snapshot_leaves_the_snapshot_intact() {
+    let exp = forwarding_exp();
+    let golden = exp.golden();
+    let snapshot = exp.snapshot(&golden);
+    let mb = cut_mailbox();
+    let sig_before = snapshot.soc().peek(mb + RESULT_SIG_OFF as u32);
+    let cycle_before = snapshot.soc().cycle();
+
+    // Clone 1: scribble directly over the mailbox and SRAM.
+    let mut vandal = snapshot.soc().clone();
+    vandal.poke(mb + RESULT_SIG_OFF as u32, 0xdead_beef);
+    for i in 0..64 {
+        vandal.poke(sbst_mem::SRAM_BASE + 4 * i, 0x5a5a_5a5a);
+    }
+    assert_eq!(
+        snapshot.soc().peek(mb + RESULT_SIG_OFF as u32),
+        sig_before,
+        "a clone's pokes must not write through to the snapshot"
+    );
+
+    // Clone 2: run the whole tail to the core-under-test halt.
+    let mut first = snapshot.soc().clone();
+    let r1 = run_to_cut_halt(&mut first, snapshot.budget(), mb);
+    assert_eq!(snapshot.soc().cycle(), cycle_before, "snapshot never advances");
+    assert_eq!(snapshot.soc().peek(mb + RESULT_SIG_OFF as u32), sig_before);
+
+    // Clone 3, taken *after* all that mutation, reproduces clone 2's
+    // run exactly — the snapshot is still the pristine baseline.
+    let mut second = snapshot.soc().clone();
+    let r2 = run_to_cut_halt(&mut second, snapshot.budget(), mb);
+    assert_eq!(r1, r2, "snapshot no longer reproduces the golden tail");
+    assert_eq!(r1.1, golden.signature, "tail must land on the golden signature");
+}
+
+/// Chains of snapshots-of-snapshots: each generation can be advanced
+/// and re-cloned without disturbing its ancestor, and a chained clone
+/// is state-identical to a straight-line run of the same length.
+#[test]
+fn snapshot_of_snapshot_chains_stay_independent() {
+    let exp = forwarding_exp();
+    let golden = exp.golden();
+    let snapshot = exp.snapshot(&golden);
+
+    // Straight-line reference: one clone stepped 300 cycles.
+    let mut straight = snapshot.soc().clone();
+    for _ in 0..300 {
+        straight.step();
+    }
+
+    // Chained: clone, step 100, clone *that*, step 100, clone again.
+    let mut g1 = snapshot.soc().clone();
+    for _ in 0..100 {
+        g1.step();
+    }
+    let g1_cycle = g1.cycle();
+    let mut g2 = g1.clone();
+    for _ in 0..100 {
+        g2.step();
+    }
+    assert_eq!(g1.cycle(), g1_cycle, "advancing g2 must not advance g1");
+    let mut g3 = g2.clone();
+    for _ in 0..100 {
+        g3.step();
+    }
+    assert!(
+        g3.loop_state_eq(&straight),
+        "three chained 100-cycle generations must equal one 300-cycle run"
+    );
+    // Ancestors still re-runnable: g1 stepped 200 more equals both.
+    for _ in 0..200 {
+        g1.step();
+    }
+    assert!(g1.loop_state_eq(&g3), "mutated descendants corrupted their ancestor");
+}
+
+/// The COW-vs-deep-copy differential: a fault tail simulated on a COW
+/// clone and on a fully `unshare()`d clone (the old deep-copy backing
+/// behavior) must be cycle- and bit-identical — fault-free, with a
+/// signature-corrupting fault, and with observer counters compared via
+/// full state equality at the end.
+#[test]
+fn cow_clone_and_deep_clone_runs_are_indistinguishable() {
+    let exp = forwarding_exp();
+    let golden = exp.golden();
+    let snapshot = exp.snapshot(&golden);
+    let mb = cut_mailbox();
+
+    let faults = unit_fault_list(CoreKind::A, Unit::Forwarding);
+    let planes: Vec<FaultPlane> = std::iter::once(FaultPlane::fault_free())
+        .chain(faults.sites().iter().step_by(97).take(6).map(|&s| FaultPlane::armed(s)))
+        .collect();
+
+    for plane in planes {
+        let mut cow = snapshot.soc().clone();
+        let mut deep = snapshot.soc().clone();
+        deep.unshare();
+        cow.core_mut(0).set_plane(plane);
+        deep.core_mut(0).set_plane(plane);
+        let rc = run_to_cut_halt(&mut cow, snapshot.budget(), mb);
+        let rd = run_to_cut_halt(&mut deep, snapshot.budget(), mb);
+        assert_eq!(rc, rd, "COW and deep-copy tails diverged under {plane:?}");
+        assert!(
+            cow.loop_state_eq(&deep),
+            "final machine state differs between COW and deep copy under {plane:?}"
+        );
+    }
+}
+
+/// The warm graders themselves sit on clones of one shared snapshot;
+/// grading many faults back-to-back (including hangs that exhaust the
+/// budget) must leave the snapshot able to reproduce the golden
+/// observation bit-for-bit.
+#[test]
+fn grading_through_the_snapshot_does_not_wear_it_out() {
+    let exp = forwarding_exp();
+    let golden = exp.golden();
+    let snapshot = exp.snapshot(&golden);
+    let faults = unit_fault_list(CoreKind::A, Unit::Forwarding).sample(400);
+    for &site in faults.sites() {
+        let _ = exp.test_fault_warm(&golden, &snapshot, site);
+    }
+    let clean = exp.run_warm(&snapshot, FaultPlane::fault_free());
+    assert_eq!(clean.signature, golden.signature);
+    assert_eq!(clean.status, golden.status);
+}

@@ -21,7 +21,9 @@ use sbst_mem::{Bus, CacheConfig, Tcm, DTCM_BASE, ITCM_BASE};
 use crate::csrfile::CsrFile;
 use crate::exec::{alu32, alu64, imm_operand};
 use crate::fetch::FetchUnit;
-use crate::forwarding::{ForwardingNetwork, OPERAND_SOURCES, WB_SRC_ALU, WB_SRC_CSR, WB_SRC_MEM};
+use crate::forwarding::{
+    ForwardingNetwork, OPERAND_SOURCES, WB_SOURCES, WB_SRC_ALU, WB_SRC_CSR, WB_SRC_MEM,
+};
 use crate::hdcu::{Hdcu, ProducerView};
 use crate::icu::Icu;
 use crate::lsu::{Lsu, MemOp, MemOpKind};
@@ -81,7 +83,7 @@ impl CoreConfig {
 }
 
 /// Entry sitting at EX input (issued, not yet executed).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct ExInEntry {
     instr: Option<Instr>,
     pc: u32,
@@ -92,8 +94,24 @@ struct ExInEntry {
     src: [Option<(u8, bool)>; 2],
 }
 
+/// [`ExInEntry`] latch equality *modulo* the issue sequence number each
+/// entry carries: `seq` is a snapshot of the monotone `issue_seq`
+/// counter, so it never repeats across loop iterations, while its only
+/// consumer (`raise_seq`, and through it the trap imprecision depth) is
+/// a sequence-number *difference* — invariant across a loop period.
+/// See [`Core::loop_state_eq`] for the full soundness argument.
+fn ex_in_eq(a: &[Option<ExInEntry>; 2], b: &[Option<ExInEntry>; 2]) -> bool {
+    a.iter().zip(b).all(|(x, y)| match (x, y) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            x.instr == y.instr && x.pc == y.pc && x.rf == y.rf && x.src == y.src
+        }
+        _ => false,
+    })
+}
+
 /// Entry in the EX/MEM or MEM/WB pipeline register.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct PipeEntry {
     instr: Option<Instr>,
     pc: u32,
@@ -140,6 +158,80 @@ pub struct StageView {
     pub halted: bool,
 }
 
+/// One micro-architectural event captured by the core tap (see
+/// [`Core::set_tap`]).
+///
+/// The tap records, in exact intra-step order, every register-file
+/// commit, every forwarding-mux evaluation (with its fault-free inputs
+/// and output) and every executed instruction (with its resolved
+/// operands). The campaign's bit-parallel fault grader replays these
+/// events per fault lane: a lane overlays its own value differences on
+/// the recorded inputs, re-evaluates the shared
+/// [`mux_eval`](crate::mux_eval) decomposition for its own faulted mux
+/// instance, and tracks where its machine state diverges from the
+/// fault-free run — without stepping a second SoC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TapEvent {
+    /// WB committed a retiring instruction to the register file
+    /// (`dest = None`: the entry retired without a destination).
+    WbCommit {
+        /// Pipe index.
+        pipe: usize,
+        /// Destination register (base index, 64-bit pair flag).
+        dest: Option<(u8, bool)>,
+        /// Committed value.
+        value: u64,
+    },
+    /// The writeback-select mux of `pipe` computed an entry's final
+    /// value as it moved from EX/MEM to MEM/WB.
+    WbMux {
+        /// Pipe index (mux instance `wb_mux_id(pipe)`).
+        pipe: usize,
+        /// Mux inputs: ALU result, load data, CSR read value.
+        inputs: [u64; WB_SOURCES],
+        /// Select code (`WB_SRC_*`).
+        sel: usize,
+        /// Fault-free mux output (the entry's writeback value).
+        out: u64,
+        /// The entry's data-memory operation, if any (the grader needs
+        /// the address to overlay lane-local memory differences on the
+        /// load data, and to apply store differences).
+        mem: Option<MemOp>,
+    },
+    /// An operand-bypass mux resolved operand `operand` of slot `slot`.
+    ExOperand {
+        /// Issue slot (mux instance `operand_mux_id(slot, operand)`).
+        slot: usize,
+        /// Operand index.
+        operand: usize,
+        /// Source register of the register-file input (base, 64-bit).
+        rf_src: Option<(u8, bool)>,
+        /// Mux inputs (indexed by the `SRC_*` constants).
+        inputs: [u64; OPERAND_SOURCES],
+        /// HDCU-encoded select (`None` = dead code).
+        sel: Option<usize>,
+        /// Fault-free mux output (the resolved operand).
+        out: u64,
+    },
+    /// EX executed one instruction with the given resolved operands.
+    ExExec {
+        /// Issue slot.
+        slot: usize,
+        /// The instruction (`None` = undecodable word).
+        instr: Option<Instr>,
+        /// Its address.
+        pc: u32,
+        /// Resolved operand values.
+        ops: [u64; 2],
+        /// Fault-free ALU/link result (grader cross-check).
+        alu: u64,
+        /// Fault-free data-memory operation (grader cross-check).
+        mem: Option<MemOp>,
+        /// Cause latched by this instruction, if any.
+        raise: Option<Cause>,
+    },
+}
+
 /// A dual-issue in-order pipelined core with private caches, TCMs,
 /// forwarding network, HDCU, imprecise-interrupt ICU and per-pin fault
 /// injection.
@@ -169,6 +261,9 @@ pub struct Core {
     halting: bool,
     halted: bool,
     fatal_trap: bool,
+    /// Event tap buffer (`None` = tap disabled, the normal case). Pure
+    /// observation: enabling it changes no simulated behavior.
+    tap: Option<Vec<TapEvent>>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -202,7 +297,68 @@ impl Core {
             halting: false,
             halted: false,
             fatal_trap: false,
+            tap: None,
         }
+    }
+
+    /// Enables or disables the micro-architectural event tap. While
+    /// enabled, [`step`](Core::step) appends [`TapEvent`]s in exact
+    /// intra-cycle order; drain them with
+    /// [`take_tap_events`](Core::take_tap_events) (typically once per
+    /// step). Observation only — simulated behavior is unchanged.
+    pub fn set_tap(&mut self, enable: bool) {
+        self.tap = enable.then(Vec::new);
+    }
+
+    /// Drains the tap buffer (empty when the tap is disabled).
+    pub fn take_tap_events(&mut self) -> Vec<TapEvent> {
+        match &mut self.tap {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// The forwarding network (read-only: campaign lane graders seed
+    /// delay-fault history from its [`delay_state`] and mirror its mux
+    /// decomposition).
+    ///
+    /// [`delay_state`]: ForwardingNetwork::delay_state
+    pub fn forwarding_unit(&self) -> &ForwardingNetwork {
+        &self.fwd
+    }
+
+    /// The armed fault plane.
+    pub fn plane(&self) -> FaultPlane {
+        self.plane
+    }
+
+    /// Architectural-trajectory equality for livelock detection: two
+    /// cores whose `loop_state_eq` states are equal, stepped against
+    /// equal bus states, evolve identically — *modulo* the deliberately
+    /// excluded free-running state: the performance counters and the
+    /// issue/raise sequence numbers, including the in-flight copy each
+    /// [`ExInEntry`] carries (all monotone; only their *difference* —
+    /// the imprecision depth — is architecturally visible, and a
+    /// difference is invariant across one loop period). The exclusions
+    /// are sound only when the compared trajectory never reads a
+    /// counter CSR; the campaign's loop detector verifies that
+    /// separately from the instruction tap.
+    pub fn loop_state_eq(&self, other: &Core) -> bool {
+        self.regs == other.regs
+            && self.csr.loop_state_eq(&other.csr)
+            && self.icu == other.icu
+            && self.fwd.delay_state() == other.fwd.delay_state()
+            && ex_in_eq(&self.ex_in, &other.ex_in)
+            && self.exmem == other.exmem
+            && self.memwb == other.memwb
+            && self.branch_pending == other.branch_pending
+            && self.halting == other.halting
+            && self.halted == other.halted
+            && self.fatal_trap == other.fatal_trap
+            && self.fetch.state_eq(&other.fetch)
+            && self.lsu.state_eq(&other.lsu)
+            && self.itcm.state_eq(&other.itcm)
+            && self.dtcm.state_eq(&other.dtcm)
     }
 
     /// Arms a fault (call before the first step).
@@ -309,6 +465,21 @@ impl Core {
         self.lsu.dcache_mut()
     }
 
+    /// Severs every copy-on-write page this core's backing stores (TCMs
+    /// and caches) still share with other clones — the deep-copy
+    /// behavior of the pre-COW `Vec` backing, as a differential-test
+    /// hook.
+    pub fn unshare(&mut self) {
+        self.itcm.unshare();
+        self.dtcm.unshare();
+        if let Some(ic) = self.fetch.icache_mut() {
+            ic.unshare();
+        }
+        if let Some(dc) = self.lsu.dcache_mut() {
+            dc.unshare();
+        }
+    }
+
     /// Current pipeline occupancy for tracing.
     pub fn stage_view(&self) -> StageView {
         let slot = |e: &Option<PipeEntry>| e.map(|e| StageSlot { pc: e.pc, instr: e.instr });
@@ -355,6 +526,9 @@ impl Core {
         // ---- WB: commit ------------------------------------------------
         for pipe in 0..2 {
             if let Some(e) = self.memwb[pipe].take() {
+                if let Some(t) = &mut self.tap {
+                    t.push(TapEvent::WbCommit { pipe, dest: e.dest, value: e.value });
+                }
                 if let Some((d, is64)) = e.dest {
                     self.write_reg(d, is64, e.value);
                 }
@@ -390,6 +564,15 @@ impl Core {
                 if let Some(mut e) = self.exmem[pipe].take() {
                     let inputs = [e.alu, e.mem_data as u64, e.csr_val];
                     e.value = self.fwd.wb_value(pipe, &inputs, e.wb_sel, &self.plane);
+                    if let Some(t) = &mut self.tap {
+                        t.push(TapEvent::WbMux {
+                            pipe,
+                            inputs,
+                            sel: e.wb_sel,
+                            out: e.value,
+                            mem: e.mem,
+                        });
+                    }
                     self.memwb[pipe] = Some(e);
                 }
             }
@@ -522,6 +705,16 @@ impl Core {
                     self.csr.fwd_uses += 1;
                 }
                 ops[operand] = self.fwd.operand(slot, operand, &inputs, sel, &self.plane);
+                if let Some(t) = &mut self.tap {
+                    t.push(TapEvent::ExOperand {
+                        slot,
+                        operand,
+                        rf_src: entry.src[operand],
+                        inputs,
+                        sel,
+                        out: ops[operand],
+                    });
+                }
             }
             let pipe_entry = self.execute_one(slot, entry, ops);
             self.exmem[slot] = Some(pipe_entry);
@@ -529,7 +722,7 @@ impl Core {
     }
 
     /// Executes a single instruction in EX; returns its pipeline entry.
-    fn execute_one(&mut self, _slot: usize, entry: ExInEntry, ops: [u64; 2]) -> PipeEntry {
+    fn execute_one(&mut self, slot: usize, entry: ExInEntry, ops: [u64; 2]) -> PipeEntry {
         let mut out = PipeEntry {
             instr: entry.instr,
             pc: entry.pc,
@@ -664,6 +857,17 @@ impl Core {
                     self.branch_pending = false;
                 }
             },
+        }
+        if let Some(t) = &mut self.tap {
+            t.push(TapEvent::ExExec {
+                slot,
+                instr: entry.instr,
+                pc: entry.pc,
+                ops,
+                alu: out.alu,
+                mem: out.mem,
+                raise,
+            });
         }
         if let Some(cause) = raise {
             if self.icu.raise(cause, &self.plane) {

@@ -56,6 +56,19 @@ impl CsrFile {
         })
     }
 
+    /// Architectural-trajectory equality for livelock detection: scratch
+    /// registers and trap vector only. The performance counters are
+    /// deliberately excluded — they advance monotonically every cycle,
+    /// so no two states of a spinning loop could ever compare equal
+    /// through them. Excluding them is sound only when the loop body
+    /// never *reads* a counter CSR; the campaign's loop detector
+    /// verifies that separately from the instruction tap.
+    pub fn loop_state_eq(&self, other: &CsrFile) -> bool {
+        self.scratch == other.scratch
+            && self.trap_vec == other.trap_vec
+            && self.core_id == other.core_id
+    }
+
     /// Software write of a non-ICU CSR.
     ///
     /// Returns `false` for CSRs not owned (or not writable) here.

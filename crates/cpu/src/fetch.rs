@@ -11,7 +11,7 @@ use sbst_isa::Instr;
 use sbst_mem::{Bus, BusRequest, Cache, CacheConfig, Region, Tcm};
 
 /// One fetched instruction slot.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FetchedInstr {
     /// Address of the instruction.
     pub pc: u32,
@@ -24,7 +24,7 @@ pub struct FetchedInstr {
 
 /// A fetch packet: 1–2 instructions from one aligned fetch group, with a
 /// consumption cursor (split issue consumes one instruction at a time).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FetchPacket {
     slots: Vec<FetchedInstr>,
     next: usize,
@@ -263,6 +263,22 @@ impl FetchUnit {
     /// halting core is fully quiescent).
     pub fn busy(&self) -> bool {
         self.state != FetchState::Idle
+    }
+
+    /// Behavioral-state equality (livelock detection): fetch pc, queued
+    /// packets, bus-transaction state and cache contents. Cache
+    /// statistics are ignored; the copy-on-write cache backing makes the
+    /// content comparison cheap for states cloned from one another.
+    pub fn state_eq(&self, other: &FetchUnit) -> bool {
+        self.pc == other.pc
+            && self.queue == other.queue
+            && self.state == other.state
+            && self.discard == other.discard
+            && match (&self.icache, &other.icache) {
+                (Some(a), Some(b)) => a.state_eq(b),
+                (None, None) => true,
+                _ => false,
+            }
     }
 
     /// Buffered packet contents for trace views (issue order).

@@ -68,33 +68,18 @@ impl ForwardingNetwork {
         self.kind.datapath_bits()
     }
 
+    /// The per-mux one-word delay history (indexed by mux instance id).
+    /// Campaign lane graders seed their reconstruction of a
+    /// [`Element::MuxPathDelay`] fault's history from this, and livelock
+    /// detection includes it in state comparison.
+    pub fn delay_state(&self) -> &[u64; 6] {
+        &self.last_out
+    }
+
     fn mux(&mut self, id: u16, inputs: &[u64], sel: Option<usize>, plane: &FaultPlane) -> u64 {
         let fault = plane.query(Unit::Forwarding, id);
         let width = self.width();
-        let out = match sel {
-            // A faulted select encoder can produce a code no one-hot line
-            // decodes to: no AND gate opens and the OR plane yields 0
-            // (modulo select-stem faults, handled by evaluating with a
-            // guaranteed-dead select).
-            None => gates::mux_out(&vec![0u64; inputs.len()], 0, width, fault)
-                | leak_from_stems(inputs, width, fault),
-            Some(s) => gates::mux_out(inputs, s, width, fault),
-        };
-        // Small-delay defect: the faulted bit lags one evaluation behind
-        // the fault-free value (the history records what the fast path
-        // would have produced).
-        let delayed = if let Some((Element::MuxPathDelay { src, bit }, _)) = fault {
-            if sel == Some(src as usize) && bit < width {
-                let mask = 1u64 << bit;
-                (out & !mask) | (self.last_out[id as usize] & mask)
-            } else {
-                out
-            }
-        } else {
-            out
-        };
-        self.last_out[id as usize] = out;
-        delayed
+        mux_eval(inputs, sel, width, fault, &mut self.last_out[id as usize])
     }
 
     /// Resolves one consumer operand through its forwarding mux.
@@ -185,6 +170,48 @@ impl ForwardingNetwork {
         }
         sites
     }
+}
+
+/// One mux evaluation of the forwarding network's gate decomposition —
+/// the single function both the in-pipeline network above and the
+/// campaign's bit-parallel (PPSFP) lane graders evaluate, so a lane's
+/// reconstruction of a faulty mux output is exact by construction.
+///
+/// `fault` is the armed fault *if it lives in this mux instance* (the
+/// caller resolves instance matching); `last_out` is this instance's
+/// one-word delay history, updated to the fault-free/pre-delay output
+/// exactly as the in-pipeline network does.
+pub fn mux_eval(
+    inputs: &[u64],
+    sel: Option<usize>,
+    width: u8,
+    fault: Option<(Element, Polarity)>,
+    last_out: &mut u64,
+) -> u64 {
+    let out = match sel {
+        // A faulted select encoder can produce a code no one-hot line
+        // decodes to: no AND gate opens and the OR plane yields 0
+        // (modulo select-stem faults, handled by evaluating with a
+        // guaranteed-dead select).
+        None => gates::mux_out(&vec![0u64; inputs.len()], 0, width, fault)
+            | leak_from_stems(inputs, width, fault),
+        Some(s) => gates::mux_out(inputs, s, width, fault),
+    };
+    // Small-delay defect: the faulted bit lags one evaluation behind
+    // the fault-free value (the history records what the fast path
+    // would have produced).
+    let delayed = if let Some((Element::MuxPathDelay { src, bit }, _)) = fault {
+        if sel == Some(src as usize) && bit < width {
+            let mask = 1u64 << bit;
+            (out & !mask) | (*last_out & mask)
+        } else {
+            out
+        }
+    } else {
+        out
+    };
+    *last_out = out;
+    delayed
 }
 
 /// Sources leaked by select-stem/branch stuck-at-1 faults when the

@@ -28,7 +28,7 @@ const EPC_BITS: u8 = 32;
 const DEPTH_BITS: u8 = 8;
 
 /// The per-core Interrupt Control Unit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Icu {
     kind: CoreKind,
     pending: [bool; 4],

@@ -37,14 +37,15 @@ mod kind;
 mod lsu;
 mod refcpu;
 
-pub use crate::core::{Core, CoreConfig, StageSlot, StageView};
+pub use crate::core::{Core, CoreConfig, StageSlot, StageView, TapEvent};
 pub use csrfile::CsrFile;
-pub use exec::{alu32, alu64};
+pub use exec::{alu32, alu64, imm_operand};
 pub use faultlist::{core_fault_list, delay_fault_list, unit_fault_list};
 pub use fetch::{FetchPacket, FetchUnit, FetchedInstr};
 pub use forwarding::{
-    operand_mux_id, wb_mux_id, ForwardingNetwork, OPERAND_SOURCES, SRC_EXMEM_P0, SRC_EXMEM_P1,
-    SRC_MEMWB_P0, SRC_MEMWB_P1, SRC_RF, WB_SOURCES, WB_SRC_ALU, WB_SRC_CSR, WB_SRC_MEM,
+    mux_eval, operand_mux_id, wb_mux_id, ForwardingNetwork, OPERAND_SOURCES, SRC_EXMEM_P0,
+    SRC_EXMEM_P1, SRC_MEMWB_P0, SRC_MEMWB_P1, SRC_RF, WB_SOURCES, WB_SRC_ALU, WB_SRC_CSR,
+    WB_SRC_MEM,
 };
 pub use hdcu::{
     overlap_cmp_id, split_cmp_id, Hdcu, ProducerView, Route, HDCU_CTRL, PROD_EXMEM_P0,

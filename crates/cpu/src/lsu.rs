@@ -114,6 +114,21 @@ impl Lsu {
         self.current.is_none() && self.wbuf.is_empty() && self.pending == Pending::None
     }
 
+    /// Behavioral-state equality (livelock detection): write buffer,
+    /// in-flight operation and cache contents; cache statistics are
+    /// ignored.
+    pub fn state_eq(&self, other: &Lsu) -> bool {
+        self.wbuf == other.wbuf
+            && self.pending == other.pending
+            && self.current == other.current
+            && self.result == other.result
+            && match (&self.dcache, &other.dcache) {
+                (Some(a), Some(b)) => a.state_eq(b),
+                (None, None) => true,
+                _ => false,
+            }
+    }
+
     /// Advances the LSU by one cycle.
     pub fn cycle(&mut self, bus: &mut Bus, itcm: &mut Tcm, dtcm: &mut Tcm) {
         // 1. Collect any bus response.

@@ -49,8 +49,10 @@ mod collapse;
 mod list;
 mod plane;
 mod site;
+mod word;
 
 pub use collapse::{collapse, CollapsedList};
 pub use list::{FaultList, Verdict};
 pub use plane::FaultPlane;
 pub use site::{Element, FaultSite, Polarity, Unit};
+pub use word::{pack_density, pack_fault_words, FaultWord, WORD_LANES};

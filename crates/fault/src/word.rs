@@ -1,0 +1,166 @@
+//! PPSFP word packing: grouping compatible faults into machine words.
+//!
+//! The bit-parallel grading tier in `sbst-campaign` evaluates up to 64
+//! faults of one unit against a single tapped fault-free run — one
+//! *lane* per bit of a machine word. Packing groups the collapsed fault
+//! list into such words: faults are compatible when they target the same
+//! unit (the campaign decides per lane whether the ride stays
+//! architecturally convergent or the lane must fall back to the serial
+//! path). Original list indices ride along so graded verdicts can be
+//! merged back in order.
+
+use crate::site::{FaultSite, Unit};
+
+/// Number of lanes in one fault word (one per bit of a machine word).
+pub const WORD_LANES: usize = 64;
+
+/// A packed word of up to [`WORD_LANES`] faults from one unit.
+///
+/// Lanes keep their position in the source list (`index`) so a grader
+/// can merge per-lane verdicts back into the flat verdict vector.
+#[derive(Debug, Clone)]
+pub struct FaultWord {
+    unit: Unit,
+    lanes: Vec<(usize, FaultSite)>,
+}
+
+impl FaultWord {
+    /// The unit every lane of this word targets.
+    pub fn unit(&self) -> Unit {
+        self.unit
+    }
+
+    /// The lanes: `(source-list index, site)`, in list order.
+    pub fn lanes(&self) -> &[(usize, FaultSite)] {
+        &self.lanes
+    }
+
+    /// Number of occupied lanes (1..=[`WORD_LANES`]).
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the word holds no lanes (never produced by
+    /// [`pack_fault_words`]; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+}
+
+fn unit_index(unit: Unit) -> usize {
+    match unit {
+        Unit::Forwarding => 0,
+        Unit::Hdcu => 1,
+        Unit::Icu => 2,
+    }
+}
+
+/// Packs `sites` into per-unit [`FaultWord`]s, preserving list order
+/// within each unit. Every site lands in exactly one lane; words are
+/// closed at [`WORD_LANES`] lanes, so a non-multiple-of-64 unit
+/// population simply ends with a partially filled word (a single fault
+/// yields a single-lane word, an empty list yields no words).
+pub fn pack_fault_words(sites: &[FaultSite]) -> Vec<FaultWord> {
+    let mut words: Vec<FaultWord> = Vec::new();
+    let mut open: [Option<usize>; 3] = [None; 3];
+    for (index, &site) in sites.iter().enumerate() {
+        let slot = unit_index(site.unit);
+        let w = match open[slot] {
+            Some(w) if words[w].lanes.len() < WORD_LANES => w,
+            _ => {
+                words.push(FaultWord { unit: site.unit, lanes: Vec::new() });
+                open[slot] = Some(words.len() - 1);
+                words.len() - 1
+            }
+        };
+        words[w].lanes.push((index, site));
+    }
+    words
+}
+
+/// Mean lane occupancy of `words` as a fraction of [`WORD_LANES`]
+/// (0.0 for an empty packing) — the campaign's pack-density telemetry.
+pub fn pack_density(words: &[FaultWord]) -> f64 {
+    if words.is_empty() {
+        return 0.0;
+    }
+    let occupied: usize = words.iter().map(FaultWord::len).sum();
+    occupied as f64 / (words.len() * WORD_LANES) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{Element, Polarity};
+
+    fn site(unit: Unit, instance: u16, bit: u8) -> FaultSite {
+        FaultSite {
+            unit,
+            instance,
+            element: Element::MuxDataIn { src: 0, bit },
+            polarity: Polarity::StuckAt0,
+        }
+    }
+
+    #[test]
+    fn empty_list_packs_to_no_words() {
+        assert!(pack_fault_words(&[]).is_empty());
+        assert_eq!(pack_density(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_fault_packs_to_single_lane_word() {
+        let words = pack_fault_words(&[site(Unit::Forwarding, 0, 0)]);
+        assert_eq!(words.len(), 1);
+        assert_eq!(words[0].len(), 1);
+        assert_eq!(words[0].lanes()[0].0, 0);
+        assert!(!words[0].is_empty());
+    }
+
+    #[test]
+    fn words_close_at_64_lanes() {
+        let sites: Vec<FaultSite> =
+            (0..130).map(|i| site(Unit::Forwarding, (i / 64) as u16, (i % 64) as u8)).collect();
+        let words = pack_fault_words(&sites);
+        assert_eq!(words.len(), 3);
+        assert_eq!(words[0].len(), 64);
+        assert_eq!(words[1].len(), 64);
+        assert_eq!(words[2].len(), 2, "non-multiple-of-64 tail word");
+        // Original indices preserved in order.
+        assert_eq!(words[1].lanes()[0].0, 64);
+        assert_eq!(words[2].lanes()[1].0, 129);
+    }
+
+    #[test]
+    fn units_never_share_a_word() {
+        let sites = vec![
+            site(Unit::Forwarding, 0, 0),
+            site(Unit::Icu, 0, 0),
+            site(Unit::Forwarding, 0, 1),
+            site(Unit::Hdcu, 0, 0),
+            site(Unit::Forwarding, 0, 2),
+        ];
+        let words = pack_fault_words(&sites);
+        assert_eq!(words.len(), 3);
+        let fwd = words.iter().find(|w| w.unit() == Unit::Forwarding).unwrap();
+        assert_eq!(
+            fwd.lanes().iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![0, 2, 4],
+            "interleaved units keep their own word and indices"
+        );
+        // Every input index appears exactly once across all words.
+        let mut all: Vec<usize> =
+            words.iter().flat_map(|w| w.lanes().iter().map(|&(i, _)| i)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..sites.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn density_reflects_occupancy() {
+        let sites: Vec<FaultSite> =
+            (0..96).map(|i| site(Unit::Forwarding, 0, (i % 64) as u8)).collect();
+        let words = pack_fault_words(&sites);
+        assert_eq!(words.len(), 2);
+        assert!((pack_density(&words) - 0.75).abs() < 1e-12);
+    }
+}

@@ -120,6 +120,14 @@ pub trait Arbiter: std::fmt::Debug + Send + Sync {
     /// bound computation is looked up under.
     fn kind(&self) -> ArbiterKind;
 
+    /// A signature of the arbiter's mutable state (0 for stateless
+    /// policies). Two buses with equal kinds and equal signatures
+    /// arbitrate identically from here on — the state-equality hook the
+    /// campaign's livelock detection compares through.
+    fn state_sig(&self) -> u64 {
+        0
+    }
+
     /// Clones the arbiter with its state (the bus is `Clone` for
     /// campaign snapshotting).
     fn clone_box(&self) -> Box<dyn Arbiter>;
@@ -153,6 +161,10 @@ impl Arbiter for RoundRobin {
 
     fn kind(&self) -> ArbiterKind {
         ArbiterKind::RoundRobin
+    }
+
+    fn state_sig(&self) -> u64 {
+        self.last as u64
     }
 
     fn clone_box(&self) -> Box<dyn Arbiter> {

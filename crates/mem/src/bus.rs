@@ -113,11 +113,35 @@ impl BusStats {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Active {
     port: usize,
     remaining: u32,
     resp: BusResponse,
+}
+
+/// One granted bus transaction, as recorded by the optional operation
+/// tap: which port moved what kind of access over which addresses. The
+/// data phase commits at grant time (see [`Bus::step`]), so the grant
+/// stream is exactly the memory-effect stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusOp {
+    /// Master port granted.
+    pub port: usize,
+    /// Operation (with write/swap payload).
+    pub kind: ReqKind,
+    /// Word-aligned byte address of the first word.
+    pub addr: u32,
+    /// Burst length in words.
+    pub burst: u8,
+}
+
+impl BusOp {
+    /// Word addresses the transaction touches:
+    /// `addr, addr+4, .., addr + 4*(burst-1)`.
+    pub fn words(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.burst as u32).map(move |i| self.addr + 4 * i)
+    }
 }
 
 /// The shared system bus: Flash + SRAM slaves, N master ports, a
@@ -146,6 +170,8 @@ pub struct Bus {
     /// Optional observer — strictly read-only w.r.t. bus behaviour; when
     /// `None` (the default) the only cost is one branch per hook site.
     obs: Option<Box<BusObs>>,
+    /// Grant-stream tap (see [`BusOp`]); `None` = recording off.
+    ops: Option<Vec<BusOp>>,
 }
 
 impl Bus {
@@ -193,6 +219,7 @@ impl Bus {
             },
             cur_wait: vec![0; ports],
             obs: None,
+            ops: None,
         }
     }
 
@@ -282,6 +309,9 @@ impl Bus {
                     obs.on_grant(port, self.cur_wait[port], req.addr, write);
                 }
                 self.cur_wait[port] = 0;
+                if let Some(ops) = &mut self.ops {
+                    ops.push(BusOp { port, kind: req.kind, addr: req.addr, burst: req.burst });
+                }
                 let (latency, resp) = self.execute(req);
                 self.active = Some(Active { port, remaining: latency.max(1), resp });
             }
@@ -392,6 +422,39 @@ impl Bus {
             _ => 1,
         };
         (latency, resp)
+    }
+
+    /// Turns the grant-stream tap on or off. While on, every granted
+    /// transaction is appended to an internal log drained with
+    /// [`take_ops`](Bus::take_ops). Recording never changes behaviour.
+    pub fn record_ops(&mut self, enable: bool) {
+        self.ops = enable.then(Vec::new);
+    }
+
+    /// Drains the recorded grant stream (empty when recording is off).
+    pub fn take_ops(&mut self) -> Vec<BusOp> {
+        match &mut self.ops {
+            Some(ops) => std::mem::take(ops),
+            None => Vec::new(),
+        }
+    }
+
+    /// Behavioral-state equality, for the campaign's livelock detection:
+    /// pending/active/response latches, SRAM and Flash-row contents,
+    /// watchdog configuration and arbiter state. Excluded on purpose:
+    /// statistics, per-port wait counters, the observer/tap, and the
+    /// free-running `cycle` counter (monotone; it only influences
+    /// arbitration under TDMA, which callers must gate on via
+    /// [`arbiter_kind`](Bus::arbiter_kind)).
+    pub fn state_eq(&self, other: &Bus) -> bool {
+        self.pending == other.pending
+            && self.responses == other.responses
+            && self.active == other.active
+            && self.sram.state_eq(&other.sram)
+            && self.flash.state_eq(&other.flash)
+            && self.watchdog.config_eq(&other.watchdog)
+            && self.arbiter.kind() == other.arbiter.kind()
+            && self.arbiter.state_sig() == other.arbiter.state_sig()
     }
 
     /// Statistics snapshot.

@@ -1,5 +1,7 @@
 //! Set-associative L1 caches.
 
+use crate::cow::CowVec;
+
 /// Write-miss policy of the data cache.
 ///
 /// Both policies are write-through (no dirty lines, so `dcinv` never
@@ -115,7 +117,7 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Line {
     valid: bool,
     tag: u32,
@@ -144,7 +146,7 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    lines: Vec<Line>, // sets * ways, set-major
+    lines: CowVec<Line>, // sets * ways, set-major
     stats: CacheStats,
 }
 
@@ -160,7 +162,7 @@ impl Cache {
         let n = (cfg.sets() * cfg.ways) as usize;
         Cache {
             cfg,
-            lines: vec![Line { valid: false, tag: 0, age: 0, data: [0; 8] }; n],
+            lines: CowVec::new(n, Line { valid: false, tag: 0, age: 0, data: [0; 8] }),
             stats: CacheStats::default(),
         }
     }
@@ -196,7 +198,7 @@ impl Cache {
     fn find(&self, addr: u32) -> Option<usize> {
         let tag = self.tag_of(addr);
         self.way_range(self.set_of(addr))
-            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+            .find(|&i| self.lines.get(i).valid && self.lines.get(i).tag == tag)
     }
 
     /// Makes `idx` the MRU line of `set`, preserving the relative order
@@ -207,13 +209,15 @@ impl Cache {
     /// two lines filled into invalid ways would stay tied at age 0 and
     /// eviction would no longer be true LRU.
     fn touch(&mut self, idx: usize, set: u32) {
-        let old_age = self.lines[idx].age;
+        let old_age = self.lines.get(idx).age;
         for i in self.way_range(set) {
-            if self.lines[i].valid && self.lines[i].age < old_age {
-                self.lines[i].age += 1;
+            if self.lines.get(i).valid && self.lines.get(i).age < old_age {
+                self.lines.get_mut(i).age += 1;
             }
         }
-        self.lines[idx].age = 0;
+        if old_age != 0 {
+            self.lines.get_mut(idx).age = 0;
+        }
     }
 
     /// Read lookup: word at `addr` on a hit, `None` on a miss.
@@ -224,7 +228,7 @@ impl Cache {
         match self.find(addr) {
             Some(idx) => {
                 self.stats.read_hits += 1;
-                let word = self.lines[idx].data
+                let word = self.lines.get(idx).data
                     [((addr % self.cfg.line_bytes) / 4) as usize];
                 self.touch(idx, self.set_of(addr));
                 Some(word)
@@ -239,7 +243,7 @@ impl Cache {
     /// Probe without updating LRU or statistics (harness/debug use).
     pub fn probe(&self, addr: u32) -> Option<u32> {
         self.find(addr)
-            .map(|idx| self.lines[idx].data[((addr % self.cfg.line_bytes) / 4) as usize])
+            .map(|idx| self.lines.get(idx).data[((addr % self.cfg.line_bytes) / 4) as usize])
     }
 
     /// Write lookup: updates the cached copy on a hit and returns `true`;
@@ -250,7 +254,10 @@ impl Cache {
         match self.find(addr) {
             Some(idx) => {
                 self.stats.write_hits += 1;
-                self.lines[idx].data[((addr % self.cfg.line_bytes) / 4) as usize] = value;
+                let off = ((addr % self.cfg.line_bytes) / 4) as usize;
+                if self.lines.get(idx).data[off] != value {
+                    self.lines.get_mut(idx).data[off] = value;
+                }
                 self.touch(idx, self.set_of(addr));
                 true
             }
@@ -276,14 +283,14 @@ impl Cache {
         // Reuse a matching or invalid way first, then the LRU way.
         let idx = self
             .way_range(set)
-            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
-            .or_else(|| self.way_range(set).find(|&i| !self.lines[i].valid))
+            .find(|&i| self.lines.get(i).valid && self.lines.get(i).tag == tag)
+            .or_else(|| self.way_range(set).find(|&i| !self.lines.get(i).valid))
             .unwrap_or_else(|| {
                 self.way_range(set)
-                    .max_by_key(|&i| self.lines[i].age)
+                    .max_by_key(|&i| self.lines.get(i).age)
                     .expect("ways >= 1")
             });
-        let l = &mut self.lines[idx];
+        let l = self.lines.get_mut(idx);
         // A line entering the set (or re-filled in place) is maximally
         // old until touched, so `touch` ages every other resident line
         // and the set keeps a total recency order.
@@ -296,8 +303,11 @@ impl Cache {
 
     /// Invalidates every line (the wrapper's block *b* in Figure 2b).
     pub fn invalidate_all(&mut self) {
-        for l in &mut self.lines {
-            l.valid = false;
+        for i in 0..self.lines.len() {
+            // Only materialize pages that actually hold valid lines.
+            if self.lines.get(i).valid {
+                self.lines.get_mut(i).valid = false;
+            }
         }
         self.stats.invalidations += 1;
     }
@@ -305,6 +315,27 @@ impl Cache {
     /// Number of currently valid lines (harness/debug use).
     pub fn valid_lines(&self) -> usize {
         self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Content equality of lines (valid/tag/LRU/data), ignoring
+    /// statistics. Fast: pages shared with `other` compare by pointer.
+    pub fn state_eq(&self, other: &Cache) -> bool {
+        self.cfg == other.cfg && self.lines.fast_eq(&other.lines)
+    }
+
+    /// Number of copy-on-write pages backing the line array.
+    pub fn cow_pages(&self) -> usize {
+        self.lines.page_count()
+    }
+
+    /// Line-array pages still physically shared with `other`.
+    pub fn cow_shared_with(&self, other: &Cache) -> usize {
+        self.lines.shared_pages_with(&other.lines)
+    }
+
+    /// Severs all page sharing (differential-test hook).
+    pub fn unshare(&mut self) {
+        self.lines.unshare();
     }
 
     /// Flips one bit of one *valid* line — the cache half of the SEU
@@ -316,17 +347,17 @@ impl Cache {
     /// statistics: an upset is invisible until the word is consumed.
     pub fn flip_bit(&mut self, line_pick: u64, word_pick: u64, bit: u32) -> Option<u32> {
         let victims: Vec<usize> = (0..self.lines.len())
-            .filter(|&i| self.lines[i].valid)
+            .filter(|&i| self.lines.get(i).valid)
             .collect();
         if victims.is_empty() {
             return None;
         }
         let idx = victims[(line_pick % victims.len() as u64) as usize];
         let word = (word_pick % self.cfg.line_words() as u64) as usize;
-        self.lines[idx].data[word] ^= 1 << (bit % 32);
+        self.lines.get_mut(idx).data[word] ^= 1 << (bit % 32);
         // Reconstruct the word's byte address from set/tag geometry.
         let set = (idx as u32) / self.cfg.ways;
-        let addr = (self.lines[idx].tag * self.cfg.sets() + set) * self.cfg.line_bytes
+        let addr = (self.lines.get(idx).tag * self.cfg.sets() + set) * self.cfg.line_bytes
             + 4 * word as u32;
         Some(addr)
     }

@@ -1,0 +1,240 @@
+//! Versioned copy-on-write backing storage.
+//!
+//! The warm-start campaign path clones the whole [`Soc`] once per fault
+//! tail; with plain `Vec` backing arrays that clone memcpy's every
+//! memory in the system even though a fault tail dirties only a handful
+//! of SRAM/cache locations. [`CowVec`] keeps the elements in fixed-size
+//! pages behind [`Arc`]s: a clone is a vector of pointer bumps, and only
+//! pages actually written after the clone are materialized
+//! ([`Arc::make_mut`]). Two descendants of the same snapshot therefore
+//! share every untouched page, which also makes whole-store equality
+//! checks (`fast_eq`) near-free — pages still shared compare by pointer.
+//!
+//! The page size is 64 elements: big enough that the per-page `Arc`
+//! overhead disappears against the payload, small enough that one dirty
+//! mailbox word doesn't materialize a whole memory.
+//!
+//! [`Soc`]: ../sbst_soc/index.html
+
+use std::sync::Arc;
+
+/// Elements per page.
+pub const COW_PAGE: usize = 64;
+
+/// A fixed-length vector of `T` stored as copy-on-write pages.
+///
+/// Cloning is O(pages) pointer bumps; the first write to a page after a
+/// clone materializes (deep-copies) just that page. The `version`
+/// counter increments on every mutating access, keying dirty-page
+/// deltas to the snapshot they diverged from.
+#[derive(Debug, Clone)]
+pub struct CowVec<T> {
+    pages: Vec<Arc<[T; COW_PAGE]>>,
+    len: usize,
+    version: u64,
+}
+
+impl<T: Clone + PartialEq> CowVec<T> {
+    /// A `CowVec` of `len` copies of `fill`.
+    pub fn new(len: usize, fill: T) -> CowVec<T> {
+        let n_pages = len.div_ceil(COW_PAGE);
+        let page: Arc<[T; COW_PAGE]> = Arc::new(std::array::from_fn(|_| fill.clone()));
+        // All-equal pages can share one allocation until first write.
+        CowVec { pages: vec![page; n_pages], len, version: 0 }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of backing pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Mutation counter: increments on every write access.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`, like slice indexing.
+    #[inline]
+    pub fn get(&self, i: usize) -> &T {
+        assert!(i < self.len, "CowVec index {i} out of range {}", self.len);
+        &self.pages[i / COW_PAGE][i % COW_PAGE]
+    }
+
+    /// Mutable access to element `i`, materializing its page if shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        assert!(i < self.len, "CowVec index {i} out of range {}", self.len);
+        self.version += 1;
+        &mut Arc::make_mut(&mut self.pages[i / COW_PAGE])[i % COW_PAGE]
+    }
+
+    /// Writes element `i`, skipping the page copy (and the version bump)
+    /// when the stored value is already equal — the common case for
+    /// write-through traffic that re-stores unchanged words.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: T) {
+        if *self.get(i) != value {
+            *self.get_mut(i) = value;
+        }
+    }
+
+    /// Iterates the elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.pages.iter().flat_map(|p| p.iter()).take(self.len)
+    }
+
+    /// Pages still physically shared with `other` (same allocation).
+    pub fn shared_pages_with(&self, other: &CowVec<T>) -> usize {
+        self.pages
+            .iter()
+            .zip(&other.pages)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Pages that have diverged from `other` (by pointer; an upper bound
+    /// on content differences).
+    pub fn delta_pages_with(&self, other: &CowVec<T>) -> usize {
+        self.pages.len().max(other.pages.len()) - self.shared_pages_with(other)
+    }
+
+    /// Content equality with a pointer-compare fast path per page.
+    pub fn fast_eq(&self, other: &CowVec<T>) -> bool {
+        self.len == other.len
+            && self
+                .pages
+                .iter()
+                .zip(&other.pages)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a[..] == b[..])
+    }
+
+    /// Re-allocates every page, severing all sharing — the deep-copy
+    /// behavior of the pre-COW `Vec` backing (differential-test hook).
+    pub fn unshare(&mut self) {
+        for page in &mut self.pages {
+            *page = Arc::new((**page).clone());
+        }
+    }
+}
+
+impl<T: Clone + PartialEq> PartialEq for CowVec<T> {
+    fn eq(&self, other: &CowVec<T>) -> bool {
+        self.fast_eq(other)
+    }
+}
+
+impl<T: Clone + PartialEq> std::ops::Index<usize> for CowVec<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        self.get(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_len() {
+        let mut v = CowVec::new(130, 0u32); // 3 pages, last partial
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.page_count(), 3);
+        v.set(0, 7);
+        v.set(129, 9);
+        assert_eq!(*v.get(0), 7);
+        assert_eq!(*v.get(129), 9);
+        assert_eq!(*v.get(64), 0);
+        assert_eq!(v.iter().copied().sum::<u32>(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let v = CowVec::new(130, 0u32);
+        let _ = v.get(130);
+    }
+
+    #[test]
+    fn clone_shares_until_written() {
+        let mut a = CowVec::new(256, 0u32);
+        a.set(5, 1);
+        let mut b = a.clone();
+        assert_eq!(b.shared_pages_with(&a), 4);
+        b.set(70, 2); // dirties page 1 only
+        assert_eq!(b.shared_pages_with(&a), 3);
+        assert_eq!(b.delta_pages_with(&a), 1);
+        // Isolation both ways.
+        assert_eq!(*a.get(70), 0);
+        assert_eq!(*b.get(5), 1);
+    }
+
+    #[test]
+    fn identical_write_keeps_sharing() {
+        let mut a = CowVec::new(256, 0u32);
+        a.set(5, 1);
+        let v0 = a.version();
+        let mut b = a.clone();
+        b.set(5, 1); // same value: no copy, no version bump
+        assert_eq!(b.shared_pages_with(&a), 4);
+        assert_eq!(b.version(), v0);
+        b.set(5, 2);
+        assert_eq!(b.shared_pages_with(&a), 3);
+        assert!(b.version() > v0);
+    }
+
+    #[test]
+    fn fast_eq_is_content_equality() {
+        let mut a = CowVec::new(200, 0u32);
+        a.set(100, 3);
+        let mut b = a.clone();
+        assert!(a.fast_eq(&b));
+        b.set(100, 4);
+        assert!(!a.fast_eq(&b));
+        b.set(100, 3); // back to equal content, page no longer shared
+        assert_eq!(b.shared_pages_with(&a), a.page_count() - 1);
+        assert!(a.fast_eq(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unshare_severs_all_pages_without_changing_content() {
+        let mut a = CowVec::new(256, 7u32);
+        a.set(9, 1);
+        let mut b = a.clone();
+        b.unshare();
+        assert_eq!(b.shared_pages_with(&a), 0);
+        assert!(a.fast_eq(&b));
+        b.set(10, 2);
+        assert_eq!(*a.get(10), 7);
+    }
+
+    #[test]
+    fn non_copy_elements() {
+        #[derive(Debug, Clone, PartialEq)]
+        struct Blob(Vec<u8>);
+        let mut v = CowVec::new(70, Blob(vec![1, 2]));
+        v.get_mut(65).0.push(3);
+        assert_eq!(v.get(65).0, vec![1, 2, 3]);
+        assert_eq!(v.get(64).0, vec![1, 2]);
+    }
+}

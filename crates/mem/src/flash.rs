@@ -168,6 +168,15 @@ impl FlashCtl {
         (self.accesses, self.row_hits)
     }
 
+    /// Behavioral-state equality: same image (by pointer — campaign runs
+    /// share one frozen image), timing and row-buffer contents. Access
+    /// statistics are ignored.
+    pub fn state_eq(&self, other: &FlashCtl) -> bool {
+        Arc::ptr_eq(&self.image, &other.image)
+            && self.timing == other.timing
+            && self.rows == other.rows
+    }
+
     /// Clears the row buffers (e.g. at SoC reset).
     pub fn reset(&mut self) {
         self.rows.clear();

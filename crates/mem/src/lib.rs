@@ -51,6 +51,7 @@ mod arbiter;
 mod bounds;
 mod bus;
 mod cache;
+mod cow;
 mod flash;
 mod injector;
 mod map;
@@ -62,8 +63,9 @@ mod watchdog;
 
 pub use arbiter::{Arbiter, ArbiterKind, FixedPriority, RoundRobin, Tdma};
 pub use bounds::BoundParams;
-pub use bus::{Bus, BusRequest, BusResponse, BusStats, ReqKind, MAX_BURST};
+pub use bus::{Bus, BusOp, BusRequest, BusResponse, BusStats, ReqKind, MAX_BURST};
 pub use cache::{Cache, CacheConfig, CacheStats, WritePolicy};
+pub use cow::{CowVec, COW_PAGE};
 pub use flash::{FlashCtl, FlashImage, FlashTiming, ERASED};
 pub use injector::{
     injector_scratch_base, InjectorPattern, InjectorProgram, InjectorStats, TrafficInjector,

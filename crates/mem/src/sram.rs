@@ -1,5 +1,6 @@
 //! Shared system SRAM.
 
+use crate::cow::CowVec;
 use crate::map::{SRAM_BASE, SRAM_SIZE};
 
 /// The shared on-chip SRAM behind the system bus.
@@ -7,10 +8,12 @@ use crate::map::{SRAM_BASE, SRAM_SIZE};
 /// Holds the STL's shared data (signature mailboxes, scheduler locks).
 /// Word-addressed; the harness can [`poke`](Sram::poke)/[`peek`](Sram::peek)
 /// directly to initialize data and read back results without consuming
-/// bus cycles.
+/// bus cycles. Backed by copy-on-write pages ([`CowVec`]) so cloning a
+/// `Soc` for a warm-start fault tail costs pointer bumps, not a 64 KiB
+/// memcpy.
 #[derive(Debug, Clone)]
 pub struct Sram {
-    words: Vec<u32>,
+    words: CowVec<u32>,
     access_cycles: u32,
 }
 
@@ -23,7 +26,7 @@ impl Default for Sram {
 impl Sram {
     /// Creates a zeroed SRAM with the given access latency in cycles.
     pub fn new(access_cycles: u32) -> Sram {
-        Sram { words: vec![0; (SRAM_SIZE / 4) as usize], access_cycles }
+        Sram { words: CowVec::new((SRAM_SIZE / 4) as usize, 0), access_cycles }
     }
 
     /// Access latency in cycles.
@@ -41,14 +44,31 @@ impl Sram {
     /// Word at `addr` (0 for out-of-range reads, mirroring a bus that
     /// returns zeros for unmapped slaves).
     pub fn read(&self, addr: u32) -> u32 {
-        Sram::index(addr).map_or(0, |i| self.words[i])
+        Sram::index(addr).map_or(0, |i| *self.words.get(i))
     }
 
     /// Writes `value` at `addr` (out-of-range writes are dropped).
     pub fn write(&mut self, addr: u32, value: u32) {
         if let Some(i) = Sram::index(addr) {
-            self.words[i] = value;
+            self.words.set(i, value);
         }
+    }
+
+    /// Content equality (fast: pages shared with `other` compare by
+    /// pointer).
+    pub fn state_eq(&self, other: &Sram) -> bool {
+        self.words.fast_eq(&other.words)
+    }
+
+    /// The copy-on-write backing store (telemetry/diagnostics).
+    pub fn storage(&self) -> &CowVec<u32> {
+        &self.words
+    }
+
+    /// Severs all page sharing (differential-test hook; see
+    /// [`CowVec::unshare`]).
+    pub fn unshare(&mut self) {
+        self.words.unshare();
     }
 
     /// Harness-side direct write (no bus traffic).

@@ -1,5 +1,6 @@
 //! Tightly-Coupled Memories (scratchpads).
 
+use crate::cow::CowVec;
 use crate::map::TCM_SIZE;
 
 /// A core-private Tightly-Coupled Memory (instruction or data).
@@ -11,7 +12,7 @@ use crate::map::TCM_SIZE;
 #[derive(Debug, Clone)]
 pub struct Tcm {
     base: u32,
-    words: Vec<u32>,
+    words: CowVec<u32>,
 }
 
 impl Tcm {
@@ -22,7 +23,7 @@ impl Tcm {
     /// Panics if `base` is not word aligned.
     pub fn new(base: u32) -> Tcm {
         assert_eq!(base % 4, 0);
-        Tcm { base, words: vec![0; (TCM_SIZE / 4) as usize] }
+        Tcm { base, words: CowVec::new((TCM_SIZE / 4) as usize, 0) }
     }
 
     /// Base address.
@@ -48,7 +49,7 @@ impl Tcm {
     /// alignment and mapping before dispatching here).
     pub fn read(&self, addr: u32) -> u32 {
         assert!(self.contains(addr) && addr.is_multiple_of(4), "bad TCM read {addr:#x}");
-        self.words[((addr - self.base) / 4) as usize]
+        *self.words.get(((addr - self.base) / 4) as usize)
     }
 
     /// Writes `value` at `addr`.
@@ -58,7 +59,23 @@ impl Tcm {
     /// Same conditions as [`read`](Tcm::read).
     pub fn write(&mut self, addr: u32, value: u32) {
         assert!(self.contains(addr) && addr.is_multiple_of(4), "bad TCM write {addr:#x}");
-        self.words[((addr - self.base) / 4) as usize] = value;
+        self.words.set(((addr - self.base) / 4) as usize, value);
+    }
+
+    /// Content equality (fast: pages shared with `other` compare by
+    /// pointer).
+    pub fn state_eq(&self, other: &Tcm) -> bool {
+        self.base == other.base && self.words.fast_eq(&other.words)
+    }
+
+    /// The copy-on-write backing store (telemetry/diagnostics).
+    pub fn storage(&self) -> &CowVec<u32> {
+        &self.words
+    }
+
+    /// Severs all page sharing (differential-test hook).
+    pub fn unshare(&mut self) {
+        self.words.unshare();
     }
 }
 

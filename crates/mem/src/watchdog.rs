@@ -57,6 +57,18 @@ impl Watchdog {
         self.enabled
     }
 
+    /// Configuration equality: programmed timeout and enable only. The
+    /// countdown (`remaining`) and the latched alarm are deliberately
+    /// excluded — they advance monotonically every cycle, and the
+    /// campaign's livelock detection compares machine states modulo
+    /// free-running timers (it separately verifies the spinning code
+    /// never reads a watchdog register, so the excluded fields cannot
+    /// influence the trajectory; an earlier-than-budget bite only
+    /// reinforces the hang verdict).
+    pub fn config_eq(&self, other: &Watchdog) -> bool {
+        self.timeout == other.timeout && self.enabled == other.enabled
+    }
+
     /// Bus read at register offset `off`.
     pub fn read(&self, off: u32) -> u32 {
         match off {

@@ -243,6 +243,17 @@ impl Soc {
         self.cycle
     }
 
+    /// Severs every copy-on-write page this SoC still shares with other
+    /// clones (SRAM, per-core TCMs, caches) — making a clone behave like
+    /// the pre-COW deep copy. Differential-test hook: a run on an
+    /// unshared clone must be indistinguishable from one on a COW clone.
+    pub fn unshare(&mut self) {
+        self.bus.sram_mut().unshare();
+        for (core, _) in &mut self.cores {
+            core.unshare();
+        }
+    }
+
     /// Traffic-injector statistics, when a chaos plane is attached.
     pub fn injector_stats(&self) -> Option<InjectorStats> {
         self.injector.as_ref().map(|i| i.stats())
@@ -335,6 +346,34 @@ impl Soc {
     /// Whether every core has halted cleanly.
     pub fn all_halted(&self) -> bool {
         self.cores.iter().all(|(c, _)| c.halted())
+    }
+
+    /// Whether a chaos plane (adversarial traffic injector or SEU
+    /// schedule) is attached. Campaign livelock detection refuses to
+    /// short-circuit such SoCs: injector programs and SEU schedules are
+    /// driven by the absolute cycle count, which state comparison
+    /// deliberately excludes.
+    pub fn has_chaos(&self) -> bool {
+        self.injector.is_some() || self.seu.is_some()
+    }
+
+    /// Architectural-trajectory equality for livelock detection: all
+    /// cores (see [`Core::loop_state_eq`]), their start delays, and the
+    /// bus with every attached memory (see `Bus::state_eq`). Excluded:
+    /// the absolute cycle count, statistics, the SEU log and the
+    /// observability layer. Callers must additionally rule out
+    /// cycle-driven behavior — a TDMA arbiter (grants depend on the
+    /// absolute cycle) and chaos planes (see
+    /// [`has_chaos`](Soc::has_chaos)) — before treating equal states as
+    /// proof of a loop.
+    pub fn loop_state_eq(&self, other: &Soc) -> bool {
+        self.cores.len() == other.cores.len()
+            && self
+                .cores
+                .iter()
+                .zip(&other.cores)
+                .all(|((a, da), (b, db))| da == db && a.loop_state_eq(b))
+            && self.bus.state_eq(&other.bus)
     }
 
     /// Runs until every core halts, a fatal trap occurs, the
